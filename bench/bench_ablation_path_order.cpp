@@ -1,0 +1,32 @@
+// Ablation — path-visit order of Alg. 1 on the prototype workloads (the
+// paper only compares the orders at trace scale, Fig. 14): descending should
+// be the strongest, per §4.1's argument for prioritising the long path.
+#include <iostream>
+
+#include "bench_common.h"
+#include "workloads/workloads.h"
+
+int main() {
+  using namespace ds;
+  std::cout << "=== Ablation: Alg. 1 path order on the prototype workloads ===\n\n";
+  const auto spec = sim::ClusterSpec::paper_prototype();
+  const std::vector<std::uint64_t> seeds{42, 7, 99};
+
+  TablePrinter t({"workload", "Spark (s)", "descending (s)", "random (s)",
+                  "ascending (s)"});
+  t.set_precision(1);
+  for (const auto& wl : workloads::benchmark_suite()) {
+    double jct[4] = {0, 0, 0, 0};
+    const char* strategies[] = {"Spark", "DelayStage", "random DelayStage",
+                                "ascending DelayStage"};
+    for (int i = 0; i < 4; ++i) {
+      for (std::uint64_t seed : seeds)
+        jct[i] += bench::run_workload(wl.dag, spec, strategies[i], seed)
+                      .result.jct /
+                  static_cast<double>(seeds.size());
+    }
+    t.add_row({wl.name, jct[0], jct[1], jct[2], jct[3]});
+  }
+  t.print(std::cout);
+  return 0;
+}

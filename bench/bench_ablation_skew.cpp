@@ -1,0 +1,54 @@
+// Ablation — AggShuffle's dependence on intra-stage task-duration variance
+// (§5.2: "the job performance improvement of AggShuffle becomes trivial when
+// the stage tasks have nearly homogeneous stage partitions").
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/units.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+ds::dag::JobDag shuffle_chain(double skew) {
+  using namespace ds;
+  dag::JobDag j("shuffle-chain");
+  dag::Stage map;
+  map.name = "map";
+  map.num_tasks = 40;
+  map.input_bytes = 4_GB;
+  map.process_rate = 2.0e6;
+  map.output_bytes = 12_GB;
+  map.task_skew = skew;
+  dag::Stage reduce;
+  reduce.name = "reduce";
+  reduce.num_tasks = 40;
+  reduce.input_bytes = 12_GB;
+  reduce.process_rate = 12.0e6;
+  reduce.output_bytes = 1_GB;
+  const auto m = j.add_stage(map);
+  const auto r = j.add_stage(reduce);
+  j.add_edge(m, r);
+  return j;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ds;
+  std::cout << "=== Ablation: AggShuffle gain vs task skew ===\n\n";
+  const auto spec = sim::ClusterSpec::paper_prototype();
+  TablePrinter t({"task skew", "Spark (s)", "AggShuffle (s)", "gain %"});
+  t.set_precision(1);
+  for (double skew : {0.0, 0.1, 0.2, 0.4, 0.6}) {
+    const auto dag = shuffle_chain(skew);
+    double stock = 0, agg = 0;
+    for (std::uint64_t seed : {42ull, 7ull, 99ull}) {
+      stock += bench::run_workload(dag, spec, "Spark", seed).result.jct / 3.0;
+      agg +=
+          bench::run_workload(dag, spec, "AggShuffle", seed).result.jct / 3.0;
+    }
+    t.add_row({fmt(skew, 1), stock, agg, 100.0 * (stock - agg) / stock});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Shared helpers for the per-figure bench binaries. Every bench regenerates
+// one table or figure of the paper: it runs the relevant experiment on the
+// simulated cluster and prints the rows/series the paper reports.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "engine/job_run.h"
+#include "metrics/sampler.h"
+#include "metrics/stats.h"
+#include "metrics/timeseries.h"
+#include "sched/strategy.h"
+#include "sim/cluster.h"
+#include "util/table.h"
+
+namespace ds::bench {
+
+struct BenchRun {
+  engine::JobResult result;
+  // Time series of a representative worker (worker 0) over the job's run.
+  metrics::TimeSeries worker_cpu;   // percent
+  metrics::TimeSeries worker_net;   // MB/s received
+  metrics::Summary cpu_summary;     // over [0, jct]
+  metrics::Summary net_summary;
+  std::vector<metrics::TimeSeries> occupancy;  // per stage, if requested
+  engine::SubmissionPlan plan;
+};
+
+inline BenchRun run_workload(const dag::JobDag& dag,
+                             const sim::ClusterSpec& spec,
+                             const std::string& strategy_name,
+                             std::uint64_t seed,
+                             bool record_occupancy = false) {
+  sim::Simulator sim;
+  sim::Cluster cluster(sim, spec, seed);
+  auto strategy = sched::make_strategy(strategy_name);
+
+  engine::RunOptions opt;
+  opt.plan = strategy->plan(dag, cluster);
+  opt.seed = seed;
+  opt.record_occupancy = record_occupancy;
+
+  metrics::UtilizationSampler sampler(cluster, 1.0);
+  sampler.start();
+  engine::JobRun run(cluster, dag, opt);
+  run.start();
+  // The sampler keeps the event queue alive; step until the job completes,
+  // then stop sampling and drain.
+  while (!run.finished() && sim.step()) {
+  }
+  sampler.stop();
+  sim.run();
+
+  BenchRun out;
+  out.result = run.result();
+  out.worker_cpu = sampler.cpu_util(0);
+  out.worker_net = sampler.net_rx_mbps(0);
+  out.cpu_summary = out.worker_cpu.summarize(0, out.result.jct);
+  out.net_summary = out.worker_net.summarize(0, out.result.jct);
+  out.plan = opt.plan;
+  if (record_occupancy) {
+    for (dag::StageId s = 0; s < dag.num_stages(); ++s)
+      out.occupancy.push_back(run.occupancy(s));
+  }
+  return out;
+}
+
+// Print a (time, series...) block bucketed to `bucket` seconds, `max_rows`
+// rows maximum — the shape of the paper's time-series figures in text form.
+inline void print_series(std::ostream& os, const std::string& time_label,
+                         const std::vector<std::string>& labels,
+                         const std::vector<const metrics::TimeSeries*>& series,
+                         Seconds bucket, std::size_t max_rows = 40) {
+  std::vector<metrics::TimeSeries> rebucketed;
+  rebucketed.reserve(series.size());
+  std::size_t rows = 0;
+  for (const auto* ts : series) {
+    rebucketed.push_back(ts->rebucket(bucket));
+    rows = std::max(rows, rebucketed.back().size());
+  }
+  std::vector<std::string> headers = {time_label};
+  headers.insert(headers.end(), labels.begin(), labels.end());
+  TablePrinter table(headers);
+  table.set_precision(1);
+  const std::size_t step = rows <= max_rows ? 1 : (rows + max_rows - 1) / max_rows;
+  for (std::size_t r = 0; r < rows; r += step) {
+    std::vector<TablePrinter::Cell> row;
+    row.emplace_back(rebucketed[0].size() > r ? rebucketed[0].time(r)
+                                              : static_cast<double>(r) * bucket);
+    for (const auto& ts : rebucketed)
+      row.emplace_back(r < ts.size() ? ts.value(r) : 0.0);
+    table.add_row(std::move(row));
+  }
+  table.print(os);
+}
+
+// Stage-breakdown rows (Figs. 11/16): per stage, when it was submitted,
+// how long the shuffle read ran (grey block) and when it finished.
+inline void print_breakdown(std::ostream& os, const std::string& strategy,
+                            const dag::JobDag& dag,
+                            const engine::JobResult& r,
+                            const engine::SubmissionPlan& plan) {
+  os << strategy << " (JCT " << fmt(r.jct, 1) << " s):\n";
+  TablePrinter t({"stage", "delay x_k", "submitted", "read done", "finish"});
+  t.set_precision(1);
+  for (dag::StageId s = 0; s < dag.num_stages(); ++s) {
+    const auto& sr = r.stages[static_cast<std::size_t>(s)];
+    t.add_row({dag.stage(s).name, plan.delay_for(s), sr.submitted,
+               sr.last_read_done, sr.finish});
+  }
+  t.print(os);
+}
+
+}  // namespace ds::bench

@@ -1,0 +1,48 @@
+// Infrastructure micro-benchmark: discrete-event engine throughput — one
+// full prototype-cluster job run per iteration (justifies Per.6: measure,
+// don't guess, before trusting the simulator for sweep experiments).
+#include <benchmark/benchmark.h>
+
+#include "engine/job_run.h"
+#include "sim/cluster.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace ds;
+
+void BM_EngineRun(benchmark::State& state, const dag::JobDag* dag) {
+  const auto spec = sim::ClusterSpec::paper_prototype();
+  std::size_t events = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Cluster cluster(sim, spec, 42);
+    engine::JobRun run(cluster, *dag, {});
+    run.start();
+    sim.run();
+    events += sim.events_processed();
+    benchmark::DoNotOptimize(run.result().jct);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+
+void BM_MaxMinAllocate(benchmark::State& state) {
+  const auto flows = static_cast<std::size_t>(state.range(0));
+  std::vector<sim::FlowPorts> fp(flows);
+  for (std::size_t f = 0; f < flows; ++f)
+    fp[f] = {static_cast<int>(f % 30), 30 + static_cast<int>(f % 33), -1};
+  std::vector<double> caps(63, 40e6);
+  for (auto _ : state) benchmark::DoNotOptimize(sim::max_min_allocate(fp, caps));
+}
+
+const auto kLda = workloads::lda();
+const auto kTri = workloads::triangle_count();
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_EngineRun, LDA, &kLda)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_EngineRun, TriangleCount, &kTri)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MaxMinAllocate)->Arg(100)->Arg(1000)->Arg(3000);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+// Fig. 3 — CDF of the proportion of the parallel-stage makespan to the job
+// execution time in the trace workload.
+#include <iostream>
+
+#include "bench_common.h"
+#include "trace/stats.h"
+#include "trace/synthetic.h"
+
+int main() {
+  using namespace ds;
+  std::cout << "=== Fig. 3: parallel-stage makespan / job execution time ===\n"
+            << "Paper: >60% share for over 80% of jobs; average 82.3%.\n\n";
+
+  trace::SyntheticTraceOptions opt;
+  opt.num_jobs = 20000;
+  const auto jobs = trace::synthetic_trace(opt, 2018);
+  const trace::TraceStats st = trace::analyze(jobs);
+
+  TablePrinter t({"T(parallel)/T(job) %", "CDF %"});
+  t.set_precision(1);
+  for (double share : {10, 20, 30, 40, 50, 60, 70, 80, 90, 100}) {
+    t.add_row({fmt(share, 0),
+               st.parallel_makespan_share.fraction_below(share)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\naverage share: " << fmt(st.parallel_makespan_share.mean(), 1)
+            << " %   (paper: 82.3 %)\n"
+            << "jobs with share > 60%: "
+            << fmt(100.0 - st.parallel_makespan_share.fraction_below(60.0), 1)
+            << " %   (paper: >80 % of jobs)\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fig. 5 — CPU utilization and network throughput of one worker node while
+// running the ALS job on the three-node stock Spark cluster: the resources
+// alternate between saturated and idle.
+#include <iostream>
+
+#include "bench_common.h"
+#include "workloads/workloads.h"
+
+int main() {
+  using namespace ds;
+  std::cout << "=== Fig. 5: one worker running ALS under stock Spark ===\n"
+            << "Paper: CPU and network are each either fully used or idle;\n"
+            << "network idle ~58 s and CPU idle ~38 s of a 133 s job.\n\n";
+
+  const auto dag = workloads::als();
+  const auto spec = sim::ClusterSpec::three_node();
+  const bench::BenchRun run = bench::run_workload(dag, spec, "Spark", 42);
+
+  bench::print_series(std::cout, "t (s)",
+                      {"CPU util %", "net rx MB/s"},
+                      {&run.worker_cpu, &run.worker_net}, 5.0, 40);
+
+  // Idle accounting over the job's run.
+  double cpu_idle = 0, net_idle = 0, n = 0;
+  for (std::size_t i = 0; i < run.worker_cpu.size(); ++i) {
+    if (run.worker_cpu.time(i) > run.result.jct) break;
+    cpu_idle += run.worker_cpu.value(i) < 5.0;
+    net_idle += run.worker_net.value(i) < 1.0;
+    ++n;
+  }
+  std::cout << "\nJCT: " << fmt(run.result.jct, 1) << " s (paper: ~133 s)\n"
+            << "CPU idle:     " << fmt(cpu_idle, 0) << " s of " << fmt(n, 0)
+            << " (paper: ~38 s of 133 s)\n"
+            << "network idle: " << fmt(net_idle, 0) << " s of " << fmt(n, 0)
+            << " (paper: ~58 s of 133 s)\n";
+  return 0;
+}

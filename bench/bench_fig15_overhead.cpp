@@ -1,0 +1,88 @@
+// Fig. 15 + §5.4 — runtime overhead of the DelayStage calculator (Alg. 1):
+// per-workload strategy times and the (roughly linear) scaling of the
+// computation time with the number of stages in a job.
+#include <benchmark/benchmark.h>
+
+#include "core/delay_calculator.h"
+#include "core/profile.h"
+#include "sim/cluster.h"
+#include "trace/synthetic.h"
+#include "trace/trace.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace ds;
+
+// §5.4: strategy execution time for the four prototype workloads
+// (paper: 58 / 76 / 107 / 164 ms on an m4.large).
+void BM_Workload(benchmark::State& state, const dag::JobDag* dag) {
+  const auto spec = sim::ClusterSpec::paper_prototype();
+  const core::JobProfile profile = core::JobProfile::from(*dag, spec);
+  for (auto _ : state) {
+    const core::DelayCalculator calc(profile);
+    benchmark::DoNotOptimize(calc.compute());
+  }
+}
+
+// Fig. 15: computation time vs #stages on trace-shaped jobs (4..186 stages).
+// Paper: roughly linear, <0.2 s for jobs under 15 stages.
+void BM_TraceJobStages(benchmark::State& state) {
+  const auto n_stages = static_cast<int>(state.range(0));
+  trace::SyntheticTraceOptions topt;
+  topt.num_jobs = 1;
+  topt.min_stages = n_stages;
+  topt.max_stages = n_stages;
+  topt.chain_fraction = 0.0;
+  const auto jobs = trace::synthetic_trace(topt, 2018 + n_stages);
+  const auto spec = sim::ClusterSpec::paper_simulation();
+
+  sim::ClusterSpec sub = spec;
+  sub.num_workers = 2;  // the replay's per-job sub-cluster
+  trace::ReferenceRates ref;
+  ref.nic_bw = 0.5 * (sub.nic_bw_min + sub.nic_bw_max);
+  ref.disk_bw = sub.disk_bw;
+  ref.num_workers = sub.num_workers;
+  ref.executors = static_cast<double>(sub.total_executors());
+  const dag::JobDag dag = trace::to_job_dag(jobs[0], ref);
+  const core::JobProfile profile = core::JobProfile::from(dag, sub);
+
+  Seconds span = 1.0;
+  for (const auto& s : jobs[0].stages)
+    span += s.read_solo + s.compute_solo + s.write_solo;
+  core::CalculatorOptions copt;
+  copt.slot = std::max(1.0, span / 150.0);
+  copt.step = copt.slot;
+  copt.coarse_candidates = 12;
+  copt.sweeps = 1;
+
+  for (auto _ : state) {
+    const core::DelayCalculator calc(profile, copt);
+    benchmark::DoNotOptimize(calc.compute());
+  }
+  state.counters["stages"] = n_stages;
+}
+
+const auto kCc = workloads::connected_components();
+const auto kCos = workloads::cosine_similarity();
+const auto kLda = workloads::lda();
+const auto kTri = workloads::triangle_count();
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Workload, ConnectedComponents, &kCc)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Workload, CosineSimilarity, &kCos)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Workload, LDA, &kLda)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Workload, TriangleCount, &kTri)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TraceJobStages)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(15)
+    ->Arg(30)
+    ->Arg(60)
+    ->Arg(100)
+    ->Arg(150)
+    ->Arg(186)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+// Fig. 17 (appendix A.3) — worker network throughput and CPU utilization
+// for ConnectedComponents and LDA, stock Spark vs DelayStage.
+#include <iostream>
+
+#include "bench_common.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+void compare(const ds::dag::JobDag& dag, const char* workload) {
+  using namespace ds;
+  const auto spec = sim::ClusterSpec::paper_prototype();
+  const bench::BenchRun stock = bench::run_workload(dag, spec, "Spark", 42);
+  const bench::BenchRun ds_run =
+      bench::run_workload(dag, spec, "DelayStage", 42);
+  std::cout << "--- " << workload << " (worker 0, 20 s buckets) ---\n";
+  bench::print_series(
+      std::cout, "t (s)",
+      {"Spark net MB/s", "DelayStage net MB/s", "Spark CPU %",
+       "DelayStage CPU %"},
+      {&stock.worker_net, &ds_run.worker_net, &stock.worker_cpu,
+       &ds_run.worker_cpu},
+      20.0, 36);
+  std::cout << "JCT: Spark " << fmt(stock.result.jct, 1) << " s, DelayStage "
+            << fmt(ds_run.result.jct, 1) << " s\n\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Fig. 17 (appendix): worker utilization, CC and LDA ===\n\n";
+  compare(ds::workloads::connected_components(), "ConnectedComponents");
+  compare(ds::workloads::lda(), "LDA");
+  return 0;
+}

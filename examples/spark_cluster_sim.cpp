@@ -1,0 +1,73 @@
+// Example: run the paper's four benchmark workloads on the simulated
+// 30-node EC2 cluster under the three stage-scheduling strategies and
+// report job completion times plus the delays DelayStage chose.
+//
+//   ./spark_cluster_sim [seed]
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+#include "engine/job_run.h"
+#include "sched/strategy.h"
+#include "sim/cluster.h"
+#include "util/table.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+double run_once(const ds::dag::JobDag& dag, const ds::sim::ClusterSpec& spec,
+                ds::sched::Strategy& strategy, std::uint64_t seed) {
+  ds::sim::Simulator sim;
+  ds::sim::Cluster cluster(sim, spec, seed);
+  ds::engine::RunOptions opt;
+  opt.plan = strategy.plan(dag, cluster);
+  opt.seed = seed;
+  ds::engine::JobRun run(cluster, dag, opt);
+  run.start();
+  sim.run();
+  return run.result().jct;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  const auto spec = ds::sim::ClusterSpec::paper_prototype();
+  const char* strategies[] = {"Spark", "AggShuffle", "DelayStage"};
+
+  ds::TablePrinter table({"workload", "Spark", "AggShuffle", "DelayStage",
+                          "vs Spark %", "vs AggShuffle %"});
+  table.set_precision(1);
+
+  for (const auto& wl : ds::workloads::benchmark_suite()) {
+    double jct[3] = {0, 0, 0};
+    for (int i = 0; i < 3; ++i) {
+      auto strategy = ds::sched::make_strategy(strategies[i]);
+      const auto t0 = std::chrono::steady_clock::now();
+      jct[i] = run_once(wl.dag, spec, *strategy, seed);
+      const auto dt = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+      std::cerr << wl.name << " / " << strategies[i] << ": jct=" << jct[i]
+                << "s (wall " << dt << "s)\n";
+    }
+    table.add_row({wl.name, jct[0], jct[1], jct[2],
+                   100.0 * (jct[0] - jct[2]) / jct[0],
+                   100.0 * (jct[1] - jct[2]) / jct[1]});
+  }
+  table.print(std::cout);
+
+  // Show the schedule DelayStage computed for one workload.
+  ds::sched::DelayStageStrategy ds_strategy;
+  const auto suite = ds::workloads::benchmark_suite();
+  (void)ds_strategy.plan(suite[2].dag, spec);
+  std::cout << "\nDelayStage schedule for " << suite[2].name << ":\n";
+  const auto& sched = ds_strategy.last_schedule();
+  for (std::size_t k = 0; k < sched.delay.size(); ++k) {
+    if (sched.delay[k] > 0)
+      std::cout << "  delay stage " << (k + 1) << " by " << sched.delay[k] << " s\n";
+  }
+  std::cout << "  predicted makespan " << sched.predicted_makespan
+            << " s, predicted JCT " << sched.predicted_jct << " s\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Trace analysis: parse an Alibaba batch_task CSV (or fall back to the
+// synthetic trace) and print the §2.1 parallel-stage statistics plus a
+// small cluster replay comparing Fuxi with DelayStage.
+//
+//   ./trace_analysis [batch_task.csv]
+#include <iostream>
+
+#include "trace/alibaba.h"
+#include "trace/replay.h"
+#include "trace/stats.h"
+#include "trace/synthetic.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace ds;
+
+  std::vector<trace::TraceJob> jobs;
+  if (argc > 1) {
+    trace::AlibabaParseStats pstats;
+    jobs = trace::parse_batch_task_file(argv[1], &pstats);
+    std::cout << "parsed " << pstats.rows << " rows -> " << jobs.size()
+              << " usable jobs (" << pstats.dropped_jobs << " dropped, "
+              << pstats.bad_rows << " malformed rows)\n\n";
+  } else {
+    std::cout << "no trace file given; generating a synthetic trace\n\n";
+    trace::SyntheticTraceOptions opt;
+    opt.num_jobs = 2000;
+    jobs = trace::synthetic_trace(opt, 1);
+  }
+  if (jobs.empty()) {
+    std::cerr << "no jobs to analyse\n";
+    return 1;
+  }
+
+  const trace::TraceStats st = trace::analyze(jobs);
+  std::cout << "jobs:                        " << st.total_jobs << '\n'
+            << "stages:                      " << st.total_stages << '\n'
+            << "jobs with parallel stages:   "
+            << fmt(100.0 * st.parallel_job_fraction(), 1) << " %\n"
+            << "parallel stages overall:     "
+            << fmt(100.0 * st.parallel_stage_fraction(), 1) << " %\n"
+            << "median stages per job:       "
+            << fmt(st.stages_per_job.percentile(50), 1) << '\n';
+  if (!st.parallel_makespan_share.empty()) {
+    std::cout << "mean parallel makespan share: "
+              << fmt(st.parallel_makespan_share.mean(), 1) << " %\n";
+  }
+
+  // Replay a sample under both schedulers.
+  std::vector<trace::TraceJob> sample(
+      jobs.begin(), jobs.begin() + std::min<std::size_t>(jobs.size(), 300));
+  TablePrinter t({"strategy", "mean JCT (s)", "CPU util %", "net util %"});
+  t.set_precision(1);
+  for (const char* strategy : {"Fuxi", "DelayStage"}) {
+    trace::ReplayOptions opt;
+    opt.strategy = strategy;
+    opt.cluster.num_workers = 400;
+    const trace::ReplayResult r = trace::replay(sample, opt, 7);
+    t.add_row({std::string(strategy), r.mean_jct(), r.mean_cpu_util(),
+               r.mean_net_util()});
+  }
+  std::cout << '\n';
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,217 @@
+#include "core/delay_calculator.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace ds::core {
+
+const char* to_string(PathOrder order) {
+  switch (order) {
+    case PathOrder::kDescending: return "descending";
+    case PathOrder::kRandom: return "random";
+    case PathOrder::kAscending: return "ascending";
+  }
+  return "?";
+}
+
+DelayCalculator::DelayCalculator(const JobProfile& profile,
+                                 CalculatorOptions options)
+    : profile_(profile), opt_(options) {
+  DS_CHECK(opt_.step > 0);
+  DS_CHECK(opt_.slot > 0);
+  DS_CHECK(opt_.coarse_candidates >= 2);
+}
+
+DelaySchedule DelayCalculator::compute() const {
+  const dag::JobDag& dag = *profile_.dag;
+  const ScheduleEvaluator eval(profile_, opt_.slot);
+  const PerfModel& model = eval.model();
+
+  DelaySchedule out;
+  out.delay.assign(static_cast<std::size_t>(dag.num_stages()), 0.0);
+
+  // Lines 1–3: execution paths, solo stage times ^t_k, initial path times.
+  out.paths = dag::execution_paths(dag, opt_.max_paths);
+  if (out.paths.empty()) {
+    const Evaluation ev = eval.evaluate(out.delay);
+    out.predicted_makespan = ev.parallel_end;
+    out.predicted_jct = ev.jct;
+    return out;  // no parallel stages — nothing to delay
+  }
+  std::vector<Seconds> path_time(out.paths.size(), 0.0);
+  for (std::size_t m = 0; m < out.paths.size(); ++m) {
+    path_time[m] = dag::path_time(out.paths[m],
+                                  [&](dag::StageId s) { return model.solo_time(s); });
+  }
+
+  // Line 4: order the paths.
+  std::vector<std::size_t> order(out.paths.size());
+  std::iota(order.begin(), order.end(), 0u);
+  switch (opt_.order) {
+    case PathOrder::kDescending:
+      std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return path_time[a] > path_time[b];
+      });
+      break;
+    case PathOrder::kAscending:
+      std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return path_time[a] < path_time[b];
+      });
+      break;
+    case PathOrder::kRandom: {
+      Rng rng(opt_.seed);
+      // Fisher–Yates with our deterministic generator.
+      for (std::size_t i = order.size(); i > 1; --i) {
+        const auto j = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+        std::swap(order[i - 1], order[j]);
+      }
+      break;
+    }
+  }
+
+  // Objective: the makespan of the parallel region (Eq. 4), with JCT as a
+  // tie-break so equal-makespan schedules still prefer the shorter job.
+  struct Score {
+    Seconds makespan;
+    Seconds jct;
+    bool better_than(const Score& o) const {
+      if (makespan < o.makespan - 1e-9) return true;
+      if (makespan > o.makespan + 1e-9) return false;
+      return jct < o.jct - 1e-9;
+    }
+  };
+  auto score = [&]() {
+    const Evaluation ev_r = eval.evaluate(out.delay);
+    return Score{ev_r.parallel_end, ev_r.jct};
+  };
+
+  std::vector<bool> scheduled(static_cast<std::size_t>(dag.num_stages()), false);
+  auto try_candidates = [&](dag::StageId k, Seconds lo, Seconds hi, Seconds step,
+                            Seconds& best_x, Score& best) {
+    for (Seconds x = lo; x <= hi + 1e-9; x += step) {
+      out.delay[static_cast<std::size_t>(k)] = x;
+      const Score s = score();
+      if (s.better_than(best)) {
+        best = s;
+        best_x = x;
+      }
+    }
+  };
+
+  // One greedy run of Alg. 1 (lines 5–21) plus coordinate-descent sweeps.
+  // `pinned[k]` freezes a stage at zero delay.
+  auto run_greedy = [&](const std::vector<bool>& pinned) {
+    Score t_max = score();
+    for (int sweep = 0; sweep < opt_.sweeps; ++sweep) {
+      std::fill(scheduled.begin(), scheduled.end(), false);
+      for (std::size_t m : order) {
+        for (dag::StageId k : out.paths[m].stages) {
+          if (scheduled[static_cast<std::size_t>(k)]) continue;  // lines 7–9
+          scheduled[static_cast<std::size_t>(k)] = true;
+          if (pinned[static_cast<std::size_t>(k)]) continue;
+
+          const Seconds uk = std::max(t_max.makespan, opt_.step);  // line 10
+          Seconds best_x = 0;
+          // Re-baseline: x = 0 is always a candidate.
+          out.delay[static_cast<std::size_t>(k)] = 0;
+          Score best = score();
+
+          if (opt_.coarse_to_fine) {
+            const Seconds coarse = std::max(
+                opt_.step, uk / static_cast<double>(opt_.coarse_candidates));
+            try_candidates(k, coarse, uk, coarse, best_x, best);
+            const Seconds lo = std::max(0.0, best_x - coarse);
+            const Seconds hi = std::min(uk, best_x + coarse);
+            try_candidates(k, lo, hi, opt_.step, best_x, best);
+          } else {
+            try_candidates(k, opt_.step, uk, opt_.step, best_x, best);
+          }
+
+          out.delay[static_cast<std::size_t>(k)] = best_x;  // lines 16–18
+          t_max = best;
+        }
+      }
+    }
+    return t_max;
+  };
+
+  // Multi-start: the greedy scan is prone to local optima (slack stages
+  // often only pay off when delayed jointly), so run it from several
+  // initialisations and keep the best-scoring schedule.
+  //   A — Alg. 1 verbatim: all-zero start, every parallel stage scannable.
+  //   B — long path pinned at zero ("preferably schedule the stages in the
+  //       long-running execution path", §4.1), all-zero start.
+  //   C — long path pinned; every other parallel stage starts pushed behind
+  //       the critical head's solo fetch (joint stagger).
+  //   D — long path pinned; slack paths pipelined one behind another
+  //       (cumulative stagger of their head fetches).
+  const std::vector<bool> no_pins(static_cast<std::size_t>(dag.num_stages()),
+                                  false);
+  std::vector<bool> pin_longest(static_cast<std::size_t>(dag.num_stages()),
+                                false);
+  for (dag::StageId k : out.paths[order.front()].stages)
+    pin_longest[static_cast<std::size_t>(k)] = true;
+  const dag::StageId head = out.paths[order.front()].stages.front();
+  const Seconds head_read = model.read_work(head) / model.read_rate_alone(head);
+
+  auto init_zero = [&] { std::fill(out.delay.begin(), out.delay.end(), 0.0); };
+  auto init_joint = [&] {
+    init_zero();
+    for (const auto& p : out.paths)
+      for (dag::StageId k : p.stages)
+        if (!pin_longest[static_cast<std::size_t>(k)])
+          out.delay[static_cast<std::size_t>(k)] = head_read;
+  };
+  auto init_pipelined = [&] {
+    init_zero();
+    Seconds offset = head_read;
+    for (std::size_t oi = 1; oi < order.size(); ++oi) {
+      bool advanced = false;
+      for (dag::StageId k : out.paths[order[oi]].stages) {
+        const auto i = static_cast<std::size_t>(k);
+        if (pin_longest[i] || out.delay[i] > 0) continue;
+        out.delay[i] = offset;
+        if (!advanced) {
+          offset += model.read_work(k) / model.read_rate_alone(k);
+          advanced = true;
+        }
+      }
+    }
+  };
+
+  struct Restart {
+    std::function<void()> init;
+    const std::vector<bool>* pins;
+  };
+  const Restart restarts[] = {
+      {init_zero, &no_pins},
+      {init_zero, &pin_longest},
+      {init_joint, &pin_longest},
+      {init_pipelined, &pin_longest},
+  };
+  std::vector<Seconds> best_delay;
+  Score best_score{0, 0};
+  bool have_best = false;
+  for (const Restart& r : restarts) {
+    r.init();
+    const Score s = run_greedy(*r.pins);
+    if (!have_best || s.better_than(best_score)) {
+      best_score = s;
+      best_delay = out.delay;
+      have_best = true;
+    }
+  }
+  out.delay = std::move(best_delay);
+
+  const Evaluation final_ev = eval.evaluate(out.delay);
+  out.predicted_makespan = final_ev.parallel_end;
+  out.predicted_jct = final_ev.jct;
+  return out;
+}
+
+}  // namespace ds::core

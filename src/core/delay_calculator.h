@@ -1,0 +1,68 @@
+// Algorithm 1 — the DelayStage stage delay scheduling strategy.
+//
+// Organise the parallel stages into execution paths, visit paths in
+// descending order of (solo) path time, and for each not-yet-scheduled stage
+// scan candidate delays x̂_k ∈ [l_k, u_k] on a slotted grid, keeping the
+// delay that minimises the makespan of the parallel-stage region as computed
+// by the interference-aware ScheduleEvaluator.
+//
+// Delays here are *relative to stage readiness* (all parents complete),
+// matching the prototype's sleep inside submitStage(). This makes
+// constraints (5)–(7) hold by construction: x_k >= 0 is the grid's lower
+// bound, and a stage physically cannot be submitted before its parents
+// finish. l_k = 0 therefore corresponds to the paper's l_k = x_j + t_j, and
+// u_k is the current makespan T_max exactly as in line 10.
+#pragma once
+
+#include <cstdint>
+
+#include "core/evaluator.h"
+#include "dag/paths.h"
+
+namespace ds::core {
+
+enum class PathOrder { kDescending, kRandom, kAscending };
+
+struct CalculatorOptions {
+  PathOrder order = PathOrder::kDescending;
+  // Candidate-delay grid width (the paper's "one second per slot").
+  Seconds step = 1.0;
+  // Evaluator slot width.
+  Seconds slot = 1.0;
+  // Bound the candidate count per stage: scan a coarse grid of at most
+  // `coarse_candidates` points, then refine around the best with `step`.
+  // Keeps the per-stage work constant, preserving Alg. 1's ~linear scaling
+  // in |K| (Fig. 15). Set false for the paper's exhaustive slotted scan.
+  bool coarse_to_fine = true;
+  int coarse_candidates = 32;
+  std::uint64_t seed = 1;  // used by PathOrder::kRandom only
+  std::size_t max_paths = 512;
+  // Number of passes over the path list. Pass 1 is Alg. 1 verbatim; further
+  // passes re-scan each stage with the others fixed (coordinate descent),
+  // catching joint delays the single greedy pass cannot see.
+  int sweeps = 2;
+};
+
+struct DelaySchedule {
+  // x_k per stage (0 for sequential stages and undelayed parallel stages).
+  std::vector<Seconds> delay;
+  Seconds predicted_makespan = -1;  // parallel-region end under this X
+  Seconds predicted_jct = -1;
+  std::vector<dag::ExecutionPath> paths;  // the decomposition used
+};
+
+class DelayCalculator {
+ public:
+  explicit DelayCalculator(const JobProfile& profile,
+                           CalculatorOptions options = {});
+
+  DelaySchedule compute() const;
+
+ private:
+  const JobProfile& profile_;
+  CalculatorOptions opt_;
+};
+
+const char* to_string(PathOrder order);
+
+}  // namespace ds::core

@@ -1,0 +1,296 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ds::core {
+
+namespace {
+
+enum class Phase { kWaiting, kDelayed, kRunning, kDone };
+
+struct StageSim {
+  Phase phase = Phase::kWaiting;
+  int remaining_parents = 0;
+  Seconds submit_at = -1;
+  std::uint64_t submit_seq = 0;  // FIFO priority in the executor pool
+  Bytes read_total = 0;
+  Bytes read_left = 0;
+  Seconds compute_total = 0;  // executor-seconds
+  Seconds compute_left = 0;
+  Bytes write_left = 0;
+  double slots = 0;       // executors currently granted to this stage
+  double prev_slots = 0;  // last allocation (wave size for release pacing)
+  double read_share = 0;  // slots still occupied by fetching tasks
+  double par_cap = 0;     // min(T_k, E): usable compute parallelism
+  int num_tasks = 0;
+  Seconds tail = 0;            // compute time of the largest task
+  Seconds min_finish = -1;     // read_done + tail (set when read completes)
+
+  double straggler = 1;        // expected max task-size multiplier
+  Seconds read_done_at = -1;   // drain time inflated to the straggler's read
+
+  double read_frac() const {
+    return read_total > 0 ? 1.0 - read_left / read_total : 1.0;
+  }
+  // Still occupying the network: bytes left, or the straggler task's fetch
+  // tail still running.
+  bool reading(Seconds now) const {
+    return read_left > sim::kFluidEps ||
+           (read_total > 0 && read_done_at > now + 1e-9);
+  }
+  // Executor slots this stage wants. The engine releases a slot as each
+  // task finishes: with a wave of `prev_slots` tasks in flight, completions
+  // begin once one wave's worth of compute is done and ramp linearly until
+  // the stage ends. Homogeneous single-wave stages therefore hold all their
+  // slots to the very end; multi-wave stages release steadily.
+  double demand() const {
+    const bool bulk_done = read_left <= sim::kFluidEps &&
+                           compute_left <= sim::kFluidEps &&
+                           write_left <= sim::kFluidEps;
+    if (bulk_done) return 1.0;
+    const double t = static_cast<double>(num_tasks);
+    if (compute_total <= 0) return t;
+    const double frac = 1.0 - compute_left / compute_total;
+    const double wave = prev_slots > 0 ? std::min(1.0, prev_slots / t) : 1.0;
+    if (frac <= wave || wave >= 1.0) return t;
+    const double completed = t * (frac - wave) / (1.0 - wave);
+    return std::max(1.0, t - completed);
+  }
+};
+
+}  // namespace
+
+ScheduleEvaluator::ScheduleEvaluator(const JobProfile& profile, Seconds slot)
+    : profile_(profile), model_(profile), slot_(slot) {
+  DS_CHECK_MSG(slot > 0, "slot width must be positive");
+}
+
+Evaluation ScheduleEvaluator::evaluate(const std::vector<Seconds>& delay) const {
+  const dag::JobDag& dag = *profile_.dag;
+  const auto n = static_cast<std::size_t>(dag.num_stages());
+  for (Seconds d : delay) DS_CHECK_MSG(d >= 0, "negative delay");
+
+  auto delay_for = [&](dag::StageId s) {
+    const auto i = static_cast<std::size_t>(s);
+    return i < delay.size() ? delay[i] : 0.0;
+  };
+
+  Evaluation ev;
+  ev.stages.assign(n, StageTimeline{});
+  std::vector<StageSim> ss(n);
+  for (dag::StageId s = 0; s < dag.num_stages(); ++s) {
+    auto& x = ss[static_cast<std::size_t>(s)];
+    x.remaining_parents = static_cast<int>(dag.parents(s).size());
+    x.read_total = model_.read_work(s);
+    x.read_left = x.read_total;
+    x.compute_total = model_.compute_work(s);
+    x.compute_left = x.compute_total;
+    x.write_left = model_.write_work(s);
+    x.par_cap = model_.usable_executors(s);
+    x.num_tasks = dag.stage(s).num_tasks;
+    x.tail = model_.straggler_tail(s);
+    x.straggler = model_.straggler_factor(s);
+  }
+
+  const auto k_set = dag.parallel_stage_set();
+
+  // Safety bound: generous multiple of the fully-serialised schedule
+  // (solo_time already includes the straggler tails).
+  Seconds budget = 100.0 + 10.0 * slot_;
+  for (dag::StageId s = 0; s < dag.num_stages(); ++s)
+    budget += (model_.solo_time(s) + model_.straggler_tail(s)) *
+              (2.0 + static_cast<double>(n));
+  for (Seconds d : delay) budget += d;
+
+  int done = 0;
+  const auto total = static_cast<int>(n);
+  const auto& cl = profile_.cluster;
+  const double cluster_execs = cl.total_executors();
+  const BytesPerSec worker_net = cl.num_workers * cl.nic_bw;
+  const BytesPerSec storage_net =
+      cl.num_storage_nodes > 0
+          ? (cl.storage_net_bw > 0 ? cl.storage_net_bw
+                                   : cl.num_storage_nodes * cl.nic_bw)
+          : worker_net;
+  const BytesPerSec cluster_disk = cl.num_workers * cl.disk_bw;
+
+  std::uint64_t next_seq = 0;
+  auto mark_ready = [&](dag::StageId s, Seconds now) {
+    auto& x = ss[static_cast<std::size_t>(s)];
+    ev.stages[static_cast<std::size_t>(s)].ready = now;
+    x.submit_at = now + delay_for(s);
+    x.phase = Phase::kDelayed;
+  };
+  auto admit = [&](dag::StageId s, Seconds now) {
+    auto& x = ss[static_cast<std::size_t>(s)];
+    x.phase = Phase::kRunning;
+    x.submit_seq = next_seq++;
+    ev.stages[static_cast<std::size_t>(s)].submitted = now;
+  };
+  for (dag::StageId s : dag.sources()) mark_ready(s, 0.0);
+
+  Seconds now = 0;
+  while (done < total) {
+    DS_CHECK_MSG(now <= budget, "evaluator failed to converge (cycle or zero rate?)");
+
+    // 1) Admit delayed stages whose submission time has arrived. FIFO
+    //    priority is submission order (ties: stage id, the order Spark
+    //    enqueues ready stages).
+    for (dag::StageId s = 0; s < dag.num_stages(); ++s) {
+      auto& x = ss[static_cast<std::size_t>(s)];
+      if (x.phase == Phase::kDelayed && x.submit_at <= now + 1e-9)
+        admit(s, now);
+    }
+
+    // 2) Retire finished stages (cascading readiness and zero-work stages).
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (dag::StageId s = 0; s < dag.num_stages(); ++s) {
+        auto& x = ss[static_cast<std::size_t>(s)];
+        auto& tl = ev.stages[static_cast<std::size_t>(s)];
+        if (x.phase != Phase::kRunning) continue;
+        if (x.read_left <= sim::kFluidEps && x.read_done_at < 0) {
+          // Bytes are drained, but the largest task's fetch outlasts the
+          // mean drain. Fair sharing self-corrects (finished flows donate
+          // bandwidth to the straggler), so the observed span inflation is
+          // roughly the square root of the max task multiplier.
+          const Seconds sub = tl.submitted;
+          x.read_done_at = sub + std::pow(x.straggler, 0.25) * (now - sub);
+        }
+        if (x.read_left <= sim::kFluidEps && x.read_done_at >= 0 &&
+            now + 1e-9 >= x.read_done_at && tl.read_done < 0) {
+          tl.read_done = now;
+          // The largest task has only just finished fetching; its compute
+          // still lies entirely ahead (slowest-worker term of Eq. 2).
+          x.min_finish = now + x.tail;
+        }
+        if (x.compute_left <= sim::kFluidEps && tl.read_done >= 0 &&
+            now + 1e-9 >= x.min_finish && tl.compute_done < 0)
+          tl.compute_done = now;
+        if (tl.read_done >= 0 && x.compute_left <= sim::kFluidEps &&
+            now + 1e-9 >= x.min_finish &&
+            x.write_left <= sim::kFluidEps) {
+          x.phase = Phase::kDone;
+          tl.finish = now;
+          ++done;
+          changed = true;
+          for (dag::StageId c : dag.children(s)) {
+            auto& cx = ss[static_cast<std::size_t>(c)];
+            DS_CHECK(cx.remaining_parents > 0);
+            if (--cx.remaining_parents == 0) {
+              mark_ready(c, now);
+              if (cx.submit_at <= now + 1e-9) admit(c, now);
+            }
+          }
+        }
+      }
+    }
+    if (done == total) break;
+
+    // 3) Allocate executor slots FIFO by submission order: a task holds its
+    //    slot through read, compute and write (as in Spark), so an
+    //    earlier-submitted stage's queued tasks gate later stages.
+    std::vector<dag::StageId> active;
+    for (dag::StageId s = 0; s < dag.num_stages(); ++s)
+      if (ss[static_cast<std::size_t>(s)].phase == Phase::kRunning)
+        active.push_back(s);
+    std::sort(active.begin(), active.end(), [&](dag::StageId a, dag::StageId b) {
+      return ss[static_cast<std::size_t>(a)].submit_seq <
+             ss[static_cast<std::size_t>(b)].submit_seq;
+    });
+    double free_execs = cluster_execs;
+    for (dag::StageId s : active) {
+      auto& x = ss[static_cast<std::size_t>(s)];
+      x.slots = std::min(x.demand(), free_execs);
+      if (x.slots > x.prev_slots) x.prev_slots = x.slots;
+      free_execs -= x.slots;
+      // Tasks still fetching vs tasks past their read. Tasks pipeline inside
+      // a stage: early finishers compute while stragglers keep reading.
+      if (x.reading(now)) {
+        x.read_share = std::max(std::min(1.0, x.slots),
+                                x.slots * (1.0 - x.read_frac()));
+      } else {
+        x.read_share = 0;
+      }
+    }
+
+    // 4) Per-flow-weighted bandwidth shares (f_w_τ(X) at task granularity):
+    //    the fabric's max-min allocation gives a stage bandwidth in
+    //    proportion to its in-flight fetches.
+    double read_tasks = 0, src_read_tasks = 0, write_tasks = 0;
+    int read_stages = 0, src_read_stages = 0;
+    for (dag::StageId s : active) {
+      const auto& x = ss[static_cast<std::size_t>(s)];
+      if (x.read_share > 0) {
+        read_tasks += x.read_share;
+        ++read_stages;
+        if (dag.parents(s).empty()) {
+          src_read_tasks += x.read_share;
+          ++src_read_stages;
+        }
+      }
+    }
+    // Cross-stage contention: g stages interleaving on the network serve
+    // only C / (1 + β·ln g) in aggregate (mirrors the fabric).
+    const double beta = cl.congestion_penalty;
+    const double net_eff =
+        read_stages > 1 ? 1.0 / (1.0 + beta * std::log(read_stages)) : 1.0;
+    const double src_eff =
+        src_read_stages > 1
+            ? 1.0 / (1.0 + beta * std::log(src_read_stages))
+            : 1.0;
+    for (dag::StageId s : active) {
+      const auto& x = ss[static_cast<std::size_t>(s)];
+      if (x.compute_left <= sim::kFluidEps && x.read_left <= sim::kFluidEps &&
+          x.write_left > sim::kFluidEps)
+        write_tasks += std::max(1.0, x.slots);
+    }
+
+    // 5) Advance one slot: read, compute (bounded by data already read and
+    //    by T/straggler usable parallelism) and write progress concurrently
+    //    across a stage's tasks.
+    for (dag::StageId s : active) {
+      auto& x = ss[static_cast<std::size_t>(s)];
+      if (x.slots <= 0) continue;  // fully queued behind earlier stages
+      if (x.read_left > sim::kFluidEps && x.read_share > 0) {
+        BytesPerSec rate = worker_net * net_eff * x.read_share / read_tasks;
+        if (dag.parents(s).empty())
+          rate = std::min(rate,
+                          storage_net * src_eff * x.read_share / src_read_tasks);
+        // Per-task NIC ceiling; co-located tasks of other stages interleave
+        // on the same NICs, but only part of a task's fan-in crosses
+        // contended ports — apply the penalty at half strength here.
+        rate = std::min(rate, x.read_share * cl.nic_bw * std::sqrt(net_eff));
+        x.read_left = std::max(0.0, x.read_left - slot_ * rate);
+      }
+      if (x.compute_left > sim::kFluidEps) {
+        const double execs =
+            std::min(std::max(0.0, x.slots - x.read_share), x.par_cap);
+        // Cannot process bytes that have not arrived yet.
+        const Seconds computable =
+            x.read_frac() * x.compute_total - (x.compute_total - x.compute_left);
+        const Seconds prog = std::min(slot_ * execs, std::max(0.0, computable));
+        x.compute_left -= prog;
+      } else if (x.read_left <= sim::kFluidEps && x.write_left > sim::kFluidEps) {
+        const double writers = std::max(1.0, x.slots);
+        const BytesPerSec rate = std::min(cluster_disk * writers / write_tasks,
+                                          writers * cl.disk_bw);
+        x.write_left = std::max(0.0, x.write_left - slot_ * rate);
+      }
+    }
+    now += slot_;
+  }
+
+  ev.jct = now;
+  ev.parallel_end = 0;
+  for (dag::StageId s : k_set)
+    ev.parallel_end =
+        std::max(ev.parallel_end, ev.stages[static_cast<std::size_t>(s)].finish);
+  return ev;
+}
+
+}  // namespace ds::core

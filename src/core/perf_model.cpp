@@ -1,0 +1,100 @@
+#include "core/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace ds::core {
+
+PerfModel::PerfModel(const JobProfile& profile) : profile_(profile) {
+  DS_CHECK_MSG(profile.dag != nullptr, "profile has no DAG");
+  DS_CHECK(profile.cluster.num_workers > 0);
+  DS_CHECK(profile.cluster.executors_per_worker > 0);
+  DS_CHECK(profile.cluster.nic_bw > 0);
+  DS_CHECK(profile.cluster.disk_bw > 0);
+}
+
+Bytes PerfModel::read_work(dag::StageId k) const {
+  return profile_.dag->stage(k).input_bytes;
+}
+
+Seconds PerfModel::compute_work(dag::StageId k) const {
+  const dag::Stage& s = profile_.dag->stage(k);
+  if (s.process_rate <= 0) return 0.0;
+  return s.input_bytes / s.process_rate;
+}
+
+double PerfModel::straggler_factor(dag::StageId k) const {
+  const dag::Stage& s = profile_.dag->stage(k);
+  if (s.task_skew <= 0 || s.num_tasks < 2) return 1.0;
+  // Expected maximum of T lognormal(0, σ) multipliers ≈ exp(σ·z) with
+  // z = Φ⁻¹(T/(T+1)), using the asymptotic inverse-normal expansion
+  // z ≈ sqrt(2 ln T) − (ln 4π + ln ln T) / (2 sqrt(2 ln T)).
+  const double t = static_cast<double>(s.num_tasks);
+  const double l = std::sqrt(2.0 * std::log(t));
+  const double z =
+      std::max(0.5, l - (std::log(4.0 * std::numbers::pi) +
+                         std::log(std::log(t))) /
+                            (2.0 * l));
+  return std::exp(s.task_skew * z);
+}
+
+Bytes PerfModel::write_work(dag::StageId k) const {
+  return profile_.dag->stage(k).output_bytes;
+}
+
+BytesPerSec PerfModel::read_rate_alone(dag::StageId k) const {
+  const auto& c = profile_.cluster;
+  // Shuffle reads are bounded by the workers' aggregate ingress; source-stage
+  // reads additionally by the HDFS nodes' aggregate egress (3 storage nodes
+  // feeding 30 workers bottleneck on the storage side, as in the prototype).
+  const BytesPerSec worker_side = c.num_workers * c.nic_bw;
+  if (profile_.dag->parents(k).empty() && c.num_storage_nodes > 0) {
+    const BytesPerSec storage_side = c.storage_net_bw > 0
+                                         ? c.storage_net_bw
+                                         : c.num_storage_nodes * c.nic_bw;
+    return std::min(worker_side, storage_side);
+  }
+  return worker_side;
+}
+
+double PerfModel::usable_executors(dag::StageId k) const {
+  return std::min(static_cast<double>(profile_.dag->stage(k).num_tasks),
+                  static_cast<double>(profile_.cluster.total_executors()));
+}
+
+Seconds PerfModel::straggler_tail(dag::StageId k) const {
+  const dag::Stage& s = profile_.dag->stage(k);
+  if (s.num_tasks <= 0) return 0.0;
+  // The largest task is the last to finish reading, and its whole compute
+  // happens after the stage's read span ends (Eq. 2's slowest worker).
+  return compute_work(k) / static_cast<double>(s.num_tasks) *
+         straggler_factor(k);
+}
+
+BytesPerSec PerfModel::write_rate_alone() const {
+  return profile_.cluster.num_workers * profile_.cluster.disk_bw;
+}
+
+PhaseTimes PerfModel::stage_phases(dag::StageId k, const Shares& shares) const {
+  DS_CHECK(shares.network >= 1 && shares.cpu >= 1 && shares.disk >= 1);
+  PhaseTimes t;
+  t.read = read_work(k) / (read_rate_alone(k) / shares.network);
+  const double execs =
+      std::max(1.0, std::min(usable_executors(k),
+                             profile_.cluster.total_executors() / shares.cpu));
+  t.compute = compute_work(k) / execs;
+  t.write = write_work(k) / (write_rate_alone() / shares.disk);
+  return t;
+}
+
+Seconds PerfModel::solo_time(dag::StageId k) const {
+  // The compute span cannot undercut the largest task (Eq. 2); the straggler
+  // tail replaces the bulk span when it dominates.
+  const PhaseTimes t = stage_phases(k, Shares{});
+  return t.read + std::max(t.compute, straggler_tail(k)) + t.write;
+}
+
+}  // namespace ds::core

@@ -1,0 +1,36 @@
+// Stage delayer — the prototype's second module (§4.2).
+//
+// The delay-time calculator stores X in Spark's metrics.properties file; the
+// delayer reads it back and sleeps each stage's submission inside
+// DAGScheduler.submitStage(). Here the round-trip is reproduced literally
+// (properties serialisation included, so a schedule can be persisted and
+// reloaded), and "sleeping the submission" becomes an engine SubmissionPlan.
+#pragma once
+
+#include <string>
+
+#include "core/delay_calculator.h"
+#include "engine/plan.h"
+
+namespace ds::core {
+
+class StageDelayer {
+ public:
+  explicit StageDelayer(DelaySchedule schedule);
+
+  const DelaySchedule& schedule() const { return schedule_; }
+
+  // The plan the execution engine applies: postpone each stage's submission
+  // by x_k after readiness.
+  engine::SubmissionPlan plan() const;
+
+  // metrics.properties-style round trip:
+  //   spark.delaystage.stage.<id>=<seconds>
+  std::string to_properties() const;
+  static DelaySchedule from_properties(const std::string& text);
+
+ private:
+  DelaySchedule schedule_;
+};
+
+}  // namespace ds::core

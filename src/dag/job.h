@@ -1,0 +1,63 @@
+// Job DAG: stages plus parent→child dependencies, with the derived structure
+// the paper's analysis needs — topological order, ancestor relation,
+// the parallel-stage set K (§2.1's definition: stages that can execute in
+// parallel with at least one other stage) and its complement, the sequential
+// stages.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dag/stage.h"
+
+namespace ds::dag {
+
+class JobDag {
+ public:
+  explicit JobDag(std::string name = "job");
+
+  // Building. add_edge(parent, child) means `child` shuffle-reads the output
+  // of `parent` and may start only after `parent` completes.
+  StageId add_stage(Stage spec);
+  void add_edge(StageId parent, StageId child);
+
+  // Structure queries. All derived structure is computed lazily and cached;
+  // the cache is invalidated by add_stage/add_edge. Cyclic graphs are
+  // rejected (CheckError) at the first derived query.
+  const std::string& name() const { return name_; }
+  int num_stages() const { return static_cast<int>(stages_.size()); }
+  const Stage& stage(StageId id) const;
+  Stage& mutable_stage(StageId id);
+  const std::vector<StageId>& parents(StageId id) const;
+  const std::vector<StageId>& children(StageId id) const;
+
+  std::vector<StageId> topo_order() const;
+  // True if `a` precedes `b` on some dependency chain (strict: a != b).
+  bool is_ancestor(StageId a, StageId b) const;
+  // Neither is an ancestor of the other — they may overlap in time.
+  bool can_run_in_parallel(StageId a, StageId b) const;
+  // K: stages with at least one parallel peer, in topological order.
+  std::vector<StageId> parallel_stage_set() const;
+  // Complement of K, in topological order.
+  std::vector<StageId> sequential_stages() const;
+  std::vector<StageId> sources() const;  // no parents
+  std::vector<StageId> sinks() const;    // no children
+
+  // Sum over all stages of input/output volume (used by trace statistics).
+  Bytes total_input_bytes() const;
+
+ private:
+  void ensure_analysis() const;
+
+  std::string name_;
+  std::vector<Stage> stages_;
+  std::vector<std::vector<StageId>> parents_;
+  std::vector<std::vector<StageId>> children_;
+
+  // Lazy analysis cache.
+  mutable bool analyzed_ = false;
+  mutable std::vector<StageId> topo_;
+  mutable std::vector<std::vector<bool>> ancestor_;  // ancestor_[a][b]: a precedes b
+};
+
+}  // namespace ds::dag

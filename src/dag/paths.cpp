@@ -1,0 +1,123 @@
+#include "dag/paths.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ds::dag {
+
+namespace {
+
+// Restriction of the DAG to K: adjacency within the parallel-stage set.
+struct Subgraph {
+  std::vector<StageId> members;                 // K in topo order
+  std::vector<int> index;                       // stage id -> position in K, or -1
+  std::vector<std::vector<int>> kids;           // positions
+  std::vector<std::vector<int>> pars;           // positions
+};
+
+Subgraph induce(const JobDag& dag) {
+  Subgraph g;
+  g.members = dag.parallel_stage_set();
+  g.index.assign(static_cast<std::size_t>(dag.num_stages()), -1);
+  for (std::size_t i = 0; i < g.members.size(); ++i)
+    g.index[static_cast<std::size_t>(g.members[i])] = static_cast<int>(i);
+  g.kids.resize(g.members.size());
+  g.pars.resize(g.members.size());
+  for (std::size_t i = 0; i < g.members.size(); ++i) {
+    for (StageId c : dag.children(g.members[i])) {
+      const int j = g.index[static_cast<std::size_t>(c)];
+      if (j >= 0) {
+        g.kids[i].push_back(j);
+        g.pars[static_cast<std::size_t>(j)].push_back(static_cast<int>(i));
+      }
+    }
+  }
+  return g;
+}
+
+// Longest chain length (in stages) from each position, following kids.
+std::vector<int> depth_below(const Subgraph& g) {
+  std::vector<int> depth(g.members.size(), 1);
+  // members are in topological order, so iterate in reverse.
+  for (std::size_t i = g.members.size(); i-- > 0;) {
+    for (int c : g.kids[i])
+      depth[i] = std::max(depth[i], 1 + depth[static_cast<std::size_t>(c)]);
+  }
+  return depth;
+}
+
+void enumerate(const Subgraph& g, int pos, std::vector<int>& chain,
+               std::vector<ExecutionPath>& out, std::size_t max_paths) {
+  chain.push_back(pos);
+  if (g.kids[static_cast<std::size_t>(pos)].empty()) {
+    if (out.size() < max_paths) {
+      ExecutionPath p;
+      p.stages.reserve(chain.size());
+      for (int q : chain) p.stages.push_back(g.members[static_cast<std::size_t>(q)]);
+      out.push_back(std::move(p));
+    }
+  } else {
+    for (int c : g.kids[static_cast<std::size_t>(pos)]) {
+      if (out.size() >= max_paths) break;
+      enumerate(g, c, chain, out, max_paths);
+    }
+  }
+  chain.pop_back();
+}
+
+}  // namespace
+
+std::vector<ExecutionPath> execution_paths(const JobDag& dag,
+                                           std::size_t max_paths) {
+  DS_CHECK(max_paths > 0);
+  const Subgraph g = induce(dag);
+  std::vector<ExecutionPath> out;
+  if (g.members.empty()) return out;
+
+  std::vector<int> chain;
+  for (std::size_t i = 0; i < g.members.size(); ++i) {
+    if (!g.pars[i].empty()) continue;  // not a source within K
+    if (out.size() >= max_paths) break;
+    enumerate(g, static_cast<int>(i), chain, out, max_paths);
+  }
+
+  // Verify coverage; if enumeration was truncated, add one longest chain
+  // through every uncovered stage (front-extended via parents, back-extended
+  // via the deepest child).
+  std::vector<bool> covered(g.members.size(), false);
+  for (const auto& p : out)
+    for (StageId s : p.stages)
+      covered[static_cast<std::size_t>(g.index[static_cast<std::size_t>(s)])] = true;
+
+  const std::vector<int> depth = depth_below(g);
+  for (std::size_t i = 0; i < g.members.size(); ++i) {
+    if (covered[i]) continue;
+    std::vector<int> back;  // from i upward to a source
+    int cur = static_cast<int>(i);
+    back.push_back(cur);
+    while (!g.pars[static_cast<std::size_t>(cur)].empty()) {
+      cur = g.pars[static_cast<std::size_t>(cur)].front();
+      back.push_back(cur);
+    }
+    std::reverse(back.begin(), back.end());
+    cur = static_cast<int>(i);
+    while (!g.kids[static_cast<std::size_t>(cur)].empty()) {
+      const auto& kids = g.kids[static_cast<std::size_t>(cur)];
+      cur = *std::max_element(kids.begin(), kids.end(), [&](int a, int b) {
+        return depth[static_cast<std::size_t>(a)] < depth[static_cast<std::size_t>(b)];
+      });
+      back.push_back(cur);
+    }
+    ExecutionPath p;
+    p.stages.reserve(back.size());
+    for (int q : back) {
+      p.stages.push_back(g.members[static_cast<std::size_t>(q)]);
+      covered[static_cast<std::size_t>(q)] = true;
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace ds::dag

@@ -1,0 +1,29 @@
+// Textual job-spec format, so jobs can be authored and planned outside C++:
+//
+//   # comment
+//   job,my-etl
+//   stage,<name>,<tasks>,<input_gb>,<rate_mbps>,<output_gb>,<skew>
+//   edge,<parent_index>,<child_index>
+//
+// Stage indices are assignment order (0-based). This is exactly the
+// information DelayStage's profiler extracts from a Spark event log, in a
+// form a shell script can emit.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dag/job.h"
+
+namespace ds::dag {
+
+// Parse a job spec; throws CheckError with a line number on malformed input.
+JobDag load_job_spec(std::istream& in);
+JobDag load_job_spec_text(const std::string& text);
+JobDag load_job_spec_file(const std::string& path);
+
+// Emit the spec (load(save(j)) reproduces the job).
+void save_job_spec(const JobDag& job, std::ostream& out);
+std::string save_job_spec_text(const JobDag& job);
+
+}  // namespace ds::dag

@@ -1,0 +1,45 @@
+// Volumetric stage description. This is exactly the information DelayStage's
+// profiler extracts from a Spark event log (paper §4.2): per-stage shuffle
+// input volume s_k, data processing rate R_k, and shuffle output volume d_k,
+// plus the task count. No record-level data is needed anywhere in the system.
+#pragma once
+
+#include <string>
+
+#include "util/units.h"
+
+namespace ds::dag {
+
+using StageId = int;
+inline constexpr StageId kNoStage = -1;
+
+struct Stage {
+  std::string name;
+  // Number of tasks (partitions). Input is split evenly across tasks.
+  int num_tasks = 1;
+  // Total bytes this stage shuffle-reads (from parents, or from HDFS for a
+  // source stage).
+  Bytes input_bytes = 0;
+  // Data processing rate per executor, bytes/second (R_k in Table 1).
+  BytesPerSec process_rate = 0;
+  // Total bytes this stage shuffle-writes to local disks (d_k).
+  Bytes output_bytes = 0;
+  // Intra-stage task-size heterogeneity: per-task volumes are scaled by
+  // lognormal multipliers with this sigma (0 = perfectly even partitions,
+  // like LDA; graph workloads are skewed). AggShuffle's benefit comes from
+  // exactly this variance (§5.2).
+  double task_skew = 0;
+
+  Bytes input_per_task() const {
+    return input_bytes / static_cast<double>(num_tasks);
+  }
+  Bytes output_per_task() const {
+    return output_bytes / static_cast<double>(num_tasks);
+  }
+  // Pure compute time of one task on a dedicated executor.
+  Seconds compute_per_task() const {
+    return process_rate > 0 ? input_per_task() / process_rate : 0.0;
+  }
+};
+
+}  // namespace ds::dag

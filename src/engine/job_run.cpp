@@ -1,0 +1,476 @@
+#include "engine/job_run.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metrics/stats.h"
+#include "util/check.h"
+
+namespace ds::engine {
+
+namespace {
+// Upper bound on node ids packed into push keys.
+constexpr std::uint64_t kMaxNodes = 1u << 20;
+}  // namespace
+
+JobRun::JobRun(sim::Cluster& cluster, const dag::JobDag& dag, RunOptions opt)
+    : cluster_(cluster), dag_(dag), opt_(std::move(opt)), rng_(opt_.seed) {
+  DS_CHECK_MSG(static_cast<std::uint64_t>(cluster.total_nodes()) < kMaxNodes,
+               "cluster too large for push keys");
+  DS_CHECK_MSG(opt_.task_failure_rate >= 0 && opt_.task_failure_rate < 1.0,
+               "task_failure_rate must be in [0, 1)");
+  DS_CHECK_MSG(opt_.max_attempts >= 1, "max_attempts must be >= 1");
+  DS_CHECK_MSG(!(opt_.plan.pipelined_shuffle && opt_.task_failure_rate > 0),
+               "fault injection is incompatible with pipelined shuffle");
+  DS_CHECK_MSG(!(opt_.plan.pipelined_shuffle && opt_.speculation),
+               "speculation is incompatible with pipelined shuffle");
+  DS_CHECK_MSG(!(opt_.speculation && opt_.task_failure_rate > 0),
+               "speculation is incompatible with fault injection");
+  DS_CHECK_MSG(opt_.speculation_threshold > 1.0,
+               "speculation threshold must exceed 1");
+  const auto n = static_cast<std::size_t>(dag_.num_stages());
+  DS_CHECK_MSG(n > 0, "empty job");
+  st_.resize(n);
+  result_.stages.resize(n);
+  task_base_.resize(n);
+  occupancy_.resize(n);
+  int total_tasks = 0;
+  for (dag::StageId s = 0; s < dag_.num_stages(); ++s) {
+    const dag::Stage& spec = dag_.stage(s);
+    auto& state = st(s);
+    const auto nt = static_cast<std::size_t>(spec.num_tasks);
+    state.remaining_parents = static_cast<int>(dag_.parents(s).size());
+    state.remaining_tasks = spec.num_tasks;
+    state.output_at_node.assign(static_cast<std::size_t>(cluster.total_nodes()), 0.0);
+    state.inflight_push.assign(nt, 0);
+    state.read_started.assign(nt, false);
+    state.read_finished.assign(nt, false);
+    state.launched.assign(nt, false);
+    state.task_done.assign(nt, false);
+    state.spec_requested.assign(nt, false);
+    state.attempts.assign(nt, {});
+
+    // Per-task skew multipliers: lognormal(sigma), renormalised to mean
+    // exactly 1 so stage totals always match the spec volumes.
+    state.mult.assign(nt, 1.0);
+    if (spec.task_skew > 0 && spec.num_tasks > 1) {
+      double sum = 0;
+      for (auto& m : state.mult) {
+        m = rng_.lognormal(0.0, spec.task_skew);
+        sum += m;
+      }
+      const double scale = static_cast<double>(spec.num_tasks) / sum;
+      for (auto& m : state.mult) m *= scale;
+    }
+
+    // AggShuffle pre-assignment: round-robin over workers, offset by stage id
+    // so concurrent stages do not all pile onto worker 0 first.
+    if (opt_.plan.pipelined_shuffle) {
+      state.planned_node.resize(nt);
+      for (int t = 0; t < spec.num_tasks; ++t) {
+        state.planned_node[static_cast<std::size_t>(t)] =
+            cluster_.worker((t + s) % cluster_.num_workers());
+      }
+    }
+
+    result_.stages[static_cast<std::size_t>(s)].stage = s;
+    task_base_[static_cast<std::size_t>(s)] = total_tasks;
+    total_tasks += spec.num_tasks;
+  }
+  result_.tasks.resize(static_cast<std::size_t>(total_tasks));
+  for (dag::StageId s = 0; s < dag_.num_stages(); ++s) {
+    for (int t = 0; t < dag_.stage(s).num_tasks; ++t) {
+      auto& tr = task(s, t);
+      tr.stage = s;
+      tr.index = t;
+    }
+  }
+  stages_remaining_ = dag_.num_stages();
+}
+
+JobRun::~JobRun() {
+  if (occupancy_event_ != sim::kInvalidEvent) cluster_.sim().cancel(occupancy_event_);
+}
+
+void JobRun::start() {
+  DS_CHECK_MSG(!started_, "JobRun::start() called twice");
+  started_ = true;
+  dag_.topo_order();  // validates acyclicity up front
+  for (dag::StageId s : dag_.sources()) on_ready(s);
+  if (opt_.record_occupancy) sample_occupancy();
+}
+
+const JobResult& JobRun::result() const {
+  DS_CHECK_MSG(result_.complete(), "job has not finished");
+  return result_;
+}
+
+const metrics::TimeSeries& JobRun::occupancy(dag::StageId s) const {
+  DS_CHECK_MSG(opt_.record_occupancy, "occupancy recording was not enabled");
+  return occupancy_.at(static_cast<std::size_t>(s));
+}
+
+TaskRecord& JobRun::task(dag::StageId s, int t) {
+  return result_.tasks[static_cast<std::size_t>(
+      task_base_[static_cast<std::size_t>(s)] + t)];
+}
+
+std::uint64_t JobRun::push_key(int task, sim::NodeId src) {
+  return static_cast<std::uint64_t>(task) * kMaxNodes +
+         static_cast<std::uint64_t>(src);
+}
+
+void JobRun::on_ready(dag::StageId s) {
+  rec(s).ready = cluster_.sim().now();
+  const Seconds delay = opt_.plan.delay_for(s);
+  DS_CHECK_MSG(delay >= 0, "negative delay for stage " << s);
+  cluster_.sim().schedule_after(delay, [this, s] { submit_stage(s); });
+}
+
+void JobRun::submit_stage(dag::StageId s) {
+  auto& state = st(s);
+  DS_CHECK(!state.submitted);
+  state.submitted = true;
+  rec(s).submitted = cluster_.sim().now();
+  for (int t = 0; t < dag_.stage(s).num_tasks; ++t) enqueue_task(s, t);
+}
+
+sim::NodeId JobRun::preferred_node(dag::StageId s) const {
+  if (dag_.parents(s).empty()) return -1;  // HDFS input: no worker is local
+  Bytes best = 0;
+  sim::NodeId node = -1;
+  for (int w = 0; w < cluster_.num_workers(); ++w) {
+    Bytes here = 0;
+    for (dag::StageId p : dag_.parents(s))
+      here += st_[static_cast<std::size_t>(p)]
+                  .output_at_node[static_cast<std::size_t>(w)];
+    if (here > best) {
+      best = here;
+      node = cluster_.worker(w);
+    }
+  }
+  return node;
+}
+
+void JobRun::enqueue_task(dag::StageId s, int t) {
+  auto& state = st(s);
+  if (opt_.plan.pipelined_shuffle) {
+    cluster_.executors().request(
+        [this, s, t](sim::NodeId w) { launch_attempt(s, t, 0, w); },
+        state.planned_node[static_cast<std::size_t>(t)],
+        opt_.plan.priority_for(s));
+    return;
+  }
+  const sim::NodeId pref = opt_.locality_wait > 0 ? preferred_node(s) : -1;
+  if (pref < 0) {
+    cluster_.executors().request(
+        [this, s, t](sim::NodeId w) { launch_attempt(s, t, 0, w); }, -1,
+        opt_.plan.priority_for(s));
+    return;
+  }
+  // Delay scheduling (task level): wait for the preferred node, then give
+  // up and take any slot.
+  const sim::SlotRequestId req = cluster_.executors().request(
+      [this, s, t](sim::NodeId w) { launch_attempt(s, t, 0, w); }, pref,
+      opt_.plan.priority_for(s));
+  cluster_.sim().schedule_after(opt_.locality_wait, [this, s, t, req] {
+    if (st(s).launched[static_cast<std::size_t>(t)]) return;
+    cluster_.executors().cancel(req);
+    cluster_.executors().request(
+        [this, s, t](sim::NodeId w) { launch_attempt(s, t, 0, w); }, -1,
+        opt_.plan.priority_for(s));
+  });
+}
+
+void JobRun::launch_attempt(dag::StageId s, int t, int a, sim::NodeId w) {
+  auto& state = st(s);
+  // A speculative grant may arrive after the task already completed.
+  if (state.task_done[static_cast<std::size_t>(t)]) {
+    cluster_.executors().release(w);
+    return;
+  }
+  state.launched[static_cast<std::size_t>(t)] = true;
+  auto& at = attempt(s, t, a);
+  DS_CHECK(!at.live);
+  at = Attempt{};
+  at.live = true;
+  at.node = w;
+  at.started = cluster_.sim().now();
+
+  auto& tr = task(s, t);
+  tr.node = w;
+  if (tr.attempts == 0) tr.launch = at.started;
+  ++tr.attempts;
+  auto& sr = rec(s);
+  if (sr.first_launch < 0) sr.first_launch = tr.launch;
+  ++state.slots_held;
+  begin_read(s, t, a, w);
+}
+
+void JobRun::begin_read(dag::StageId s, int t, int a, sim::NodeId w) {
+  auto& state = st(s);
+  auto& at = attempt(s, t, a);
+  if (a == 0) state.read_started[static_cast<std::size_t>(t)] = true;
+  const dag::Stage& spec = dag_.stage(s);
+  const double mult = state.mult[static_cast<std::size_t>(t)];
+
+  // Per-source volumes this task must fetch.
+  std::vector<std::pair<sim::NodeId, Bytes>> sources;
+  if (dag_.parents(s).empty()) {
+    // Source stage: input striped across the storage nodes (HDFS) in
+    // proportion to their bandwidth — block placement balances load, so a
+    // slow replica node holds correspondingly less of the hot data. With no
+    // storage tier, the input lives striped across the workers.
+    const int ns = cluster_.num_storage_nodes();
+    const Bytes want = spec.input_per_task() * mult;
+    if (ns > 0) {
+      BytesPerSec total_bw = 0;
+      for (int i = 0; i < ns; ++i)
+        total_bw += cluster_.nic_bw(cluster_.storage_node(i));
+      for (int i = 0; i < ns; ++i) {
+        const sim::NodeId node = cluster_.storage_node(i);
+        sources.emplace_back(node, want * cluster_.nic_bw(node) / total_bw);
+      }
+    } else {
+      for (int i = 0; i < cluster_.num_workers(); ++i)
+        sources.emplace_back(cluster_.worker(i), want / cluster_.num_workers());
+    }
+  } else {
+    // Shuffle read: this task's partition of every parent's output, located
+    // where the parent tasks wrote it, minus anything AggShuffle already
+    // pushed here (primary attempts only; speculation excludes pipelining).
+    const double frac = mult / static_cast<double>(spec.num_tasks);
+    for (dag::StageId p : dag_.parents(s)) {
+      const auto& out = st(p).output_at_node;
+      for (sim::NodeId i = 0; i < static_cast<sim::NodeId>(out.size()); ++i) {
+        Bytes b = out[static_cast<std::size_t>(i)] * frac;
+        if (b <= 0) continue;
+        if (a == 0) {
+          const auto it = state.push_committed.find(push_key(t, i));
+          if (it != state.push_committed.end()) {
+            const Bytes credit = std::min(b, it->second);
+            b -= credit;
+          }
+        }
+        if (b > sim::kFluidEps) sources.emplace_back(i, b);
+      }
+    }
+  }
+
+  int pending = static_cast<int>(sources.size());
+  if (a == 0) pending += state.inflight_push[static_cast<std::size_t>(t)];
+  at.pending_flows = pending;
+  if (pending == 0) {
+    finish_read(s, t, a);
+    return;
+  }
+  for (const auto& [src, bytes] : sources) {
+    at.flows.push_back(cluster_.fabric().start_flow(
+        {src, w, bytes, s, [this, s, t, a] { flow_arrived(s, t, a); }}));
+  }
+}
+
+void JobRun::flow_arrived(dag::StageId s, int t, int a) {
+  auto& at = attempt(s, t, a);
+  if (!at.live) return;  // raced with a cancellation
+  DS_CHECK_MSG(at.pending_flows > 0,
+               "stray flow arrival for stage " << s << " task " << t);
+  if (--at.pending_flows == 0) finish_read(s, t, a);
+}
+
+void JobRun::finish_read(dag::StageId s, int t, int a) {
+  auto& state = st(s);
+  auto& at = attempt(s, t, a);
+  DS_CHECK(!at.read_done);
+  at.read_done = true;
+  at.flows.clear();
+  if (a == 0) state.read_finished[static_cast<std::size_t>(t)] = true;
+  auto& tr = task(s, t);
+  tr.read_done = cluster_.sim().now();
+  rec(s).last_read_done = std::max(rec(s).last_read_done, tr.read_done);
+
+  const dag::Stage& spec = dag_.stage(s);
+  const Seconds compute = spec.compute_per_task() *
+                          state.mult[static_cast<std::size_t>(t)] /
+                          cluster_.speed(at.node);
+  cluster_.begin_compute(at.node);
+  at.computing = true;
+
+  // Fault injection: the attempt may abort partway through its compute and
+  // be retried from scratch (the final permitted attempt always succeeds).
+  if (opt_.task_failure_rate > 0 && tr.attempts < opt_.max_attempts &&
+      rng_.chance(opt_.task_failure_rate)) {
+    const Seconds abort_at = compute * rng_.uniform(0.1, 0.9);
+    at.compute_event = cluster_.sim().schedule_after(
+        abort_at, [this, s, t] { on_task_failed(s, t); });
+    return;
+  }
+  at.compute_event = cluster_.sim().schedule_after(
+      compute, [this, s, t, a] { on_compute_done(s, t, a); });
+}
+
+void JobRun::on_task_failed(dag::StageId s, int t) {
+  auto& state = st(s);
+  auto& at = attempt(s, t, 0);
+  cluster_.end_compute(at.node);
+  --state.slots_held;
+  cluster_.executors().release(at.node);
+  // Reset the attempt and re-queue the task (no locality wait on retries:
+  // the retry should start as soon as any slot frees up).
+  at = Attempt{};
+  state.read_started[static_cast<std::size_t>(t)] = false;
+  state.read_finished[static_cast<std::size_t>(t)] = false;
+  cluster_.executors().request(
+      [this, s, t](sim::NodeId w) { launch_attempt(s, t, 0, w); }, -1,
+      opt_.plan.priority_for(s));
+}
+
+void JobRun::on_compute_done(dag::StageId s, int t, int a) {
+  auto& at = attempt(s, t, a);
+  DS_CHECK(at.live && at.computing);
+  at.computing = false;
+  at.compute_event = sim::kInvalidEvent;
+  auto& tr = task(s, t);
+  tr.compute_done = cluster_.sim().now();
+  cluster_.end_compute(at.node);
+  const dag::Stage& spec = dag_.stage(s);
+  const Bytes out =
+      spec.output_per_task() * st(s).mult[static_cast<std::size_t>(t)];
+  at.writing = true;
+  at.disk_claim = cluster_.disk(at.node).submit(
+      out, [this, s, t, a] { on_write_done(s, t, a); });
+}
+
+void JobRun::on_write_done(dag::StageId s, int t, int a) {
+  auto& state = st(s);
+  auto& at = attempt(s, t, a);
+  DS_CHECK(at.live);
+  at.writing = false;
+  state.task_done[static_cast<std::size_t>(t)] = true;
+
+  auto& tr = task(s, t);
+  tr.finish = cluster_.sim().now();
+  tr.node = at.node;  // the winning attempt's node
+  state.finished_durations.push_back(tr.finish - at.started);
+
+  const dag::Stage& spec = dag_.stage(s);
+  const Bytes out = spec.output_per_task() * state.mult[static_cast<std::size_t>(t)];
+  state.output_at_node[static_cast<std::size_t>(at.node)] += out;
+  --state.slots_held;
+  cluster_.executors().release(at.node);
+  at.live = false;
+
+  // A losing sibling attempt is cancelled outright.
+  const int sibling = 1 - a;
+  if (attempt(s, t, sibling).live) cancel_attempt(s, t, sibling);
+
+  if (opt_.plan.pipelined_shuffle && out > 0) push_map_output(s, at.node, out);
+
+  DS_CHECK(state.remaining_tasks > 0);
+  if (--state.remaining_tasks == 0) {
+    finish_stage(s);
+  } else if (opt_.speculation) {
+    maybe_speculate(s);
+  }
+}
+
+void JobRun::cancel_attempt(dag::StageId s, int t, int a) {
+  auto& state = st(s);
+  auto& at = attempt(s, t, a);
+  DS_CHECK(at.live);
+  for (sim::FlowId f : at.flows) cluster_.fabric().cancel(f);
+  if (at.compute_event != sim::kInvalidEvent)
+    cluster_.sim().cancel(at.compute_event);
+  if (at.computing) cluster_.end_compute(at.node);
+  if (at.writing) cluster_.disk(at.node).cancel(at.disk_claim);
+  --state.slots_held;
+  cluster_.executors().release(at.node);
+  at = Attempt{};
+}
+
+void JobRun::maybe_speculate(dag::StageId s) {
+  auto& state = st(s);
+  const auto total = static_cast<std::size_t>(dag_.stage(s).num_tasks);
+  if (state.finished_durations.size() * 2 < total) return;
+  std::vector<double> sorted = state.finished_durations;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = metrics::percentile(sorted, 50);
+  const Seconds now = cluster_.sim().now();
+
+  for (int t = 0; t < dag_.stage(s).num_tasks; ++t) {
+    const auto ti = static_cast<std::size_t>(t);
+    if (state.task_done[ti]) continue;
+    const Attempt& primary = attempt(s, t, 0);
+    if (!primary.live) continue;                 // still queued for a slot
+    if (state.spec_requested[ti]) continue;      // copy queued or running
+    if (now - primary.started <= opt_.speculation_threshold * median) continue;
+    state.spec_requested[ti] = true;
+    ++speculative_attempts_;
+    cluster_.executors().request(
+        [this, s, t](sim::NodeId w) { launch_attempt(s, t, 1, w); }, -1,
+        opt_.plan.priority_for(s));
+  }
+}
+
+void JobRun::push_map_output(dag::StageId parent, sim::NodeId src, Bytes bytes) {
+  for (dag::StageId c : dag_.children(parent)) {
+    auto& cs = st(c);
+    const dag::Stage& cspec = dag_.stage(c);
+    for (int u = 0; u < cspec.num_tasks; ++u) {
+      // This reduce task's partition of the freshly written map output.
+      const Bytes share = bytes * cs.mult[static_cast<std::size_t>(u)] /
+                          static_cast<double>(cspec.num_tasks);
+      if (share <= sim::kFluidEps) continue;
+      // If the reduce task already fetched, the pushed bytes are wasted —
+      // never push behind a completed read.
+      if (cs.read_finished[static_cast<std::size_t>(u)]) continue;
+      const sim::NodeId dst = cs.planned_node[static_cast<std::size_t>(u)];
+      ++cs.inflight_push[static_cast<std::size_t>(u)];
+      cs.push_committed[push_key(u, src)] += share;
+      if (cs.read_started[static_cast<std::size_t>(u)])
+        ++attempt(c, u, 0).pending_flows;
+      // Pushes carry the parent's group: they are stage `parent`'s output
+      // stream, not a new contender on the fabric.
+      cluster_.fabric().start_flow(
+          {src, dst, share, parent, [this, c, u] {
+             auto& state = st(c);
+             --state.inflight_push[static_cast<std::size_t>(u)];
+             if (state.read_started[static_cast<std::size_t>(u)] &&
+                 !state.read_finished[static_cast<std::size_t>(u)]) {
+               flow_arrived(c, u, 0);
+             }
+           }});
+    }
+  }
+}
+
+void JobRun::finish_stage(dag::StageId s) {
+  rec(s).finish = cluster_.sim().now();
+  for (dag::StageId c : dag_.children(s)) {
+    auto& cs = st(c);
+    DS_CHECK(cs.remaining_parents > 0);
+    if (--cs.remaining_parents == 0) on_ready(c);
+  }
+  DS_CHECK(stages_remaining_ > 0);
+  if (--stages_remaining_ == 0) {
+    result_.jct = cluster_.sim().now();
+    if (occupancy_event_ != sim::kInvalidEvent) {
+      cluster_.sim().cancel(occupancy_event_);
+      occupancy_event_ = sim::kInvalidEvent;
+    }
+  }
+}
+
+void JobRun::sample_occupancy() {
+  const Seconds now = cluster_.sim().now();
+  for (dag::StageId s = 0; s < dag_.num_stages(); ++s) {
+    occupancy_[static_cast<std::size_t>(s)].push(
+        now, static_cast<double>(st(s).slots_held));
+  }
+  occupancy_event_ = cluster_.sim().schedule_after(opt_.occupancy_dt, [this] {
+    occupancy_event_ = sim::kInvalidEvent;
+    sample_occupancy();
+  });
+}
+
+}  // namespace ds::engine

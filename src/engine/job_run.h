@@ -1,0 +1,174 @@
+// Spark-like job execution on the cluster simulator.
+//
+// Lifecycle per task (paper Fig. 8): acquire an executor slot → shuffle-read
+// input from every source node in parallel (network flows; read blocks
+// compute) → process data on the executor (CPU) → shuffle-write output to
+// the local disk → release the slot. A stage finishes when its slowest task
+// finishes (Eq. 2); a stage becomes ready when all parents finished, and is
+// *submitted* `delay[k]` seconds later (DelayStage's knob; stock Spark is
+// all-zeros).
+//
+// Data placement: source stages read their input from the storage (HDFS)
+// nodes in proportion to node bandwidth; shuffle stages read each parent's
+// output from wherever that parent's tasks actually ran.
+//
+// AggShuffle (pipelined_shuffle): reduce tasks of every stage are
+// pre-assigned to workers round-robin; whenever a map task finishes, its
+// output is immediately pushed to the reduce tasks' nodes. Bytes that arrive
+// (or are in flight) before a reduce task reads are never fetched twice —
+// the benefit is the transfer/compute overlap, which grows with the
+// intra-stage task-duration variance (Stage::task_skew) exactly as the
+// paper observes.
+//
+// Each task runs as one or two *attempts*: the primary, plus (with
+// RunOptions::speculation) a speculative copy launched when the primary
+// lags the stage's finished tasks. The first attempt to complete wins; the
+// loser's flows, compute and disk write are cancelled and its slot freed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dag/job.h"
+#include "engine/plan.h"
+#include "engine/records.h"
+#include "metrics/timeseries.h"
+#include "sim/cluster.h"
+#include "util/rng.h"
+
+namespace ds::engine {
+
+struct RunOptions {
+  SubmissionPlan plan;
+  // Seed for the per-task skew multipliers and fault injection.
+  std::uint64_t seed = 1;
+  // Record per-stage executor occupancy (Fig. 13).
+  bool record_occupancy = false;
+  Seconds occupancy_dt = 1.0;
+  // Fault injection: each task attempt independently aborts mid-compute
+  // with this probability and is retried Spark-style (slot released,
+  // re-queued, input re-fetched). Attempts are capped at max_attempts; the
+  // final attempt always succeeds. Incompatible with pipelined_shuffle and
+  // speculation.
+  double task_failure_rate = 0.0;
+  int max_attempts = 4;
+  // Task-level delay scheduling (Zaharia et al., EuroSys'10 — the technique
+  // the paper contrasts DelayStage with in §1): a shuffle task first waits
+  // up to this long for a slot on the worker holding most of its input
+  // (which it then reads over loopback), falling back to any free slot.
+  // 0 disables; Spark's default is ~3 s.
+  Seconds locality_wait = 0.0;
+  // Speculative execution: once half a stage's tasks have finished, a task
+  // whose current attempt has run longer than speculation_threshold × the
+  // median finished duration gets a parallel copy on another executor; the
+  // first finisher wins. Fixes machine-level stragglers (slow nodes, see
+  // ClusterSpec::node_speed_*). Incompatible with pipelined_shuffle and
+  // fault injection.
+  bool speculation = false;
+  double speculation_threshold = 1.5;
+};
+
+class JobRun {
+ public:
+  // The dag and cluster must outlive the run.
+  JobRun(sim::Cluster& cluster, const dag::JobDag& dag, RunOptions opt);
+  ~JobRun();
+  JobRun(const JobRun&) = delete;
+  JobRun& operator=(const JobRun&) = delete;
+
+  // Schedule the job at the current sim time; drive with cluster.sim().run().
+  void start();
+
+  bool finished() const { return result_.complete(); }
+  // Valid once finished().
+  const JobResult& result() const;
+  // Executor slots held by stage `s` over time (record_occupancy only).
+  const metrics::TimeSeries& occupancy(dag::StageId s) const;
+  // Number of speculative copies launched (speculation only).
+  int speculative_attempts() const { return speculative_attempts_; }
+
+ private:
+  // One running execution of a task. index 0 = primary, 1 = speculative.
+  struct Attempt {
+    bool live = false;
+    sim::NodeId node = -1;
+    Seconds started = -1;
+    int pending_flows = 0;
+    bool read_done = false;
+    bool computing = false;
+    std::vector<sim::FlowId> flows;
+    sim::EventId compute_event = sim::kInvalidEvent;
+    bool writing = false;
+    sim::ClaimId disk_claim = 0;
+  };
+
+  struct StageState {
+    int remaining_parents = 0;
+    int remaining_tasks = 0;
+    bool submitted = false;
+    std::vector<double> mult;                // per-task skew, mean 1
+    std::vector<sim::NodeId> planned_node;   // AggShuffle pre-assignment
+    std::vector<Bytes> output_at_node;       // filled as tasks write
+    // AggShuffle bookkeeping: bytes pushed toward (task, src) — committed at
+    // push *start*, so a task's remainder fetch never re-requests bytes that
+    // are still in flight (completion waits on them via pending_flows).
+    std::unordered_map<std::uint64_t, Bytes> push_committed;
+    std::vector<int> inflight_push;          // pushes racing toward each task
+    std::vector<bool> read_started;          // primary attempt, for pushes
+    std::vector<bool> read_finished;
+    std::vector<bool> launched;              // granted a slot (locality wait)
+    std::vector<bool> task_done;
+    std::vector<bool> spec_requested;        // a copy is queued or running
+    std::vector<std::array<Attempt, 2>> attempts;
+    std::vector<Seconds> finished_durations;  // attempt spans, for speculation
+    int slots_held = 0;                      // for occupancy sampling
+  };
+
+  static std::uint64_t push_key(int task, sim::NodeId src);
+
+  void on_ready(dag::StageId s);
+  void submit_stage(dag::StageId s);
+  void enqueue_task(dag::StageId s, int t);
+  // Worker holding the largest share of this task's shuffle input, or -1.
+  sim::NodeId preferred_node(dag::StageId s) const;
+  void launch_attempt(dag::StageId s, int t, int a, sim::NodeId w);
+  void begin_read(dag::StageId s, int t, int a, sim::NodeId w);
+  void flow_arrived(dag::StageId s, int t, int a);
+  void finish_read(dag::StageId s, int t, int a);
+  void on_task_failed(dag::StageId s, int t);
+  void on_compute_done(dag::StageId s, int t, int a);
+  void on_write_done(dag::StageId s, int t, int a);
+  void cancel_attempt(dag::StageId s, int t, int a);
+  void maybe_speculate(dag::StageId s);
+  void finish_stage(dag::StageId s);
+  // AggShuffle: push `bytes` of freshly-written map output of `parent` from
+  // `src` toward each child's pre-assigned reduce nodes.
+  void push_map_output(dag::StageId parent, sim::NodeId src, Bytes bytes);
+  void sample_occupancy();
+
+  StageState& st(dag::StageId s) { return st_[static_cast<std::size_t>(s)]; }
+  Attempt& attempt(dag::StageId s, int t, int a) {
+    return st(s).attempts[static_cast<std::size_t>(t)][static_cast<std::size_t>(a)];
+  }
+  TaskRecord& task(dag::StageId s, int t);
+  StageRecord& rec(dag::StageId s) {
+    return result_.stages[static_cast<std::size_t>(s)];
+  }
+
+  sim::Cluster& cluster_;
+  const dag::JobDag& dag_;
+  RunOptions opt_;
+  Rng rng_;
+  std::vector<StageState> st_;
+  std::vector<int> task_base_;  // index of stage s's task 0 in result_.tasks
+  JobResult result_;
+  int stages_remaining_ = 0;
+  bool started_ = false;
+  int speculative_attempts_ = 0;
+  std::vector<metrics::TimeSeries> occupancy_;
+  sim::EventId occupancy_event_ = sim::kInvalidEvent;
+};
+
+}  // namespace ds::engine

@@ -1,0 +1,38 @@
+// A submission plan is everything a stage-scheduling strategy may decide in
+// this system: per-stage submission delays (DelayStage's X) and whether the
+// shuffle is pipelined (AggShuffle's proactive push). The engine is strategy-
+// agnostic; strategies produce plans (see sched/).
+#pragma once
+
+#include <vector>
+
+#include "dag/stage.h"
+#include "util/units.h"
+
+namespace ds::engine {
+
+struct SubmissionPlan {
+  // delay[k] postpones stage k's submission by that many seconds after it
+  // becomes ready (all parents complete). Missing/short vector means zero
+  // delay — the stock Spark behaviour.
+  std::vector<Seconds> delay;
+  // AggShuffle: map outputs are pushed toward the (pre-assigned) reduce-task
+  // nodes as each map task finishes, overlapping shuffle transfer with the
+  // parent stage's remaining compute.
+  bool pipelined_shuffle = false;
+  // Executor-queue priority per stage (lower = served first; default 0 =
+  // plain FIFO). Lets Graphene/critical-path-first style baselines reorder
+  // which stage's tasks win contended slots without delaying submissions.
+  std::vector<int> priority;
+
+  Seconds delay_for(dag::StageId s) const {
+    const auto i = static_cast<std::size_t>(s);
+    return i < delay.size() ? delay[i] : 0.0;
+  }
+  int priority_for(dag::StageId s) const {
+    const auto i = static_cast<std::size_t>(s);
+    return i < priority.size() ? priority[i] : 0;
+  }
+};
+
+}  // namespace ds::engine

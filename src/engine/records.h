@@ -1,0 +1,47 @@
+// Execution records produced by a job run — the raw material for every
+// prototype figure: stage breakdowns (Fig. 11/16), JCTs (Fig. 10),
+// occupancy (Fig. 13).
+#pragma once
+
+#include <vector>
+
+#include "dag/stage.h"
+#include "sim/network.h"
+#include "util/units.h"
+
+namespace ds::engine {
+
+struct TaskRecord {
+  dag::StageId stage = dag::kNoStage;
+  int index = -1;
+  sim::NodeId node = -1;      // node of the successful attempt
+  Seconds launch = -1;        // first attempt's slot grant
+  Seconds read_done = -1;     // successful attempt: input fetched
+  Seconds compute_done = -1;  // successful attempt: processing finished
+  Seconds finish = -1;        // write complete; slot released
+  int attempts = 0;           // 1 = no retries (fault injection, RunOptions)
+};
+
+struct StageRecord {
+  dag::StageId stage = dag::kNoStage;
+  Seconds ready = -1;      // all parents complete
+  Seconds submitted = -1;  // ready + delay x_k
+  Seconds first_launch = -1;
+  Seconds last_read_done = -1;  // end of the stage's shuffle-read span
+  Seconds finish = -1;
+
+  // Fig. 11's grey/white split: shuffle-read span vs processing+write span.
+  Seconds read_span() const { return last_read_done - first_launch; }
+  Seconds process_span() const { return finish - last_read_done; }
+  Seconds duration() const { return finish - submitted; }
+};
+
+struct JobResult {
+  Seconds jct = -1;
+  std::vector<StageRecord> stages;  // indexed by StageId
+  std::vector<TaskRecord> tasks;
+
+  bool complete() const { return jct >= 0; }
+};
+
+}  // namespace ds::engine

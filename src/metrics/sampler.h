@@ -1,0 +1,43 @@
+// Periodic resource-utilization sampler, the simulator's equivalent of the
+// paper's per-node monitoring (sar/netperf style). Every `dt` it records, per
+// worker: CPU utilization (busy executors / slots, %) and NIC receive
+// throughput (MB/s). Also keeps cluster-wide averages for Fig. 4(a).
+#pragma once
+
+#include <vector>
+
+#include "metrics/timeseries.h"
+#include "sim/cluster.h"
+
+namespace ds::metrics {
+
+class UtilizationSampler {
+ public:
+  UtilizationSampler(sim::Cluster& cluster, Seconds dt = 1.0);
+  ~UtilizationSampler();
+  UtilizationSampler(const UtilizationSampler&) = delete;
+  UtilizationSampler& operator=(const UtilizationSampler&) = delete;
+
+  // Begin sampling at the current sim time. stop() must be called before the
+  // simulation can drain (the sampler keeps rescheduling itself).
+  void start();
+  void stop();
+
+  const TimeSeries& cpu_util(sim::NodeId worker) const;     // percent
+  const TimeSeries& net_rx_mbps(sim::NodeId worker) const;  // MB/s
+  const TimeSeries& cluster_cpu_util() const { return cluster_cpu_; }
+  const TimeSeries& cluster_net_rx() const { return cluster_net_; }
+
+ private:
+  void sample();
+
+  sim::Cluster& cluster_;
+  Seconds dt_;
+  sim::EventId pending_ = sim::kInvalidEvent;
+  std::vector<TimeSeries> cpu_;
+  std::vector<TimeSeries> net_;
+  TimeSeries cluster_cpu_;
+  TimeSeries cluster_net_;
+};
+
+}  // namespace ds::metrics

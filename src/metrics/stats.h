@@ -1,0 +1,51 @@
+// Summary statistics for experiment reporting (Table 3/4 style mean(std)).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+
+#include "util/check.h"
+
+namespace ds::metrics {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0;
+  double stddev = 0;  // population standard deviation
+  double min = 0;
+  double max = 0;
+};
+
+inline Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  double sum = 0;
+  s.min = xs[0];
+  s.max = xs[0];
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double ss = 0;
+  for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+  s.stddev = std::sqrt(ss / static_cast<double>(xs.size()));
+  return s;
+}
+
+// p in [0, 100]; linear interpolation between order statistics.
+inline double percentile(std::span<const double> sorted, double p) {
+  DS_CHECK(!sorted.empty());
+  DS_CHECK(p >= 0 && p <= 100);
+  if (sorted.size() == 1) return sorted[0];
+  const double idx = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace ds::metrics

@@ -1,0 +1,46 @@
+#include "metrics/timeseries.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ds::metrics {
+
+void TimeSeries::push(Seconds t, double v) {
+  DS_CHECK_MSG(t_.empty() || t >= t_.back(), "time series must be appended in order");
+  t_.push_back(t);
+  v_.push_back(v);
+}
+
+Summary TimeSeries::summarize() const { return metrics::summarize(v_); }
+
+Summary TimeSeries::summarize(Seconds t0, Seconds t1) const {
+  std::vector<double> window;
+  for (std::size_t i = 0; i < t_.size(); ++i) {
+    if (t_[i] >= t0 && t_[i] <= t1) window.push_back(v_[i]);
+  }
+  return metrics::summarize(window);
+}
+
+TimeSeries TimeSeries::rebucket(Seconds bucket_width) const {
+  DS_CHECK(bucket_width > 0);
+  TimeSeries out;
+  if (t_.empty()) return out;
+  const Seconds end = t_.back();
+  const auto nbuckets =
+      static_cast<std::size_t>(std::floor(end / bucket_width)) + 1;
+  std::vector<double> sum(nbuckets, 0.0);
+  std::vector<std::size_t> cnt(nbuckets, 0);
+  for (std::size_t i = 0; i < t_.size(); ++i) {
+    const auto b = static_cast<std::size_t>(std::floor(t_[i] / bucket_width));
+    sum[b] += v_[i];
+    ++cnt[b];
+  }
+  for (std::size_t b = 0; b < nbuckets; ++b) {
+    const double v = cnt[b] > 0 ? sum[b] / static_cast<double>(cnt[b]) : 0.0;
+    out.push((static_cast<double>(b) + 0.5) * bucket_width, v);
+  }
+  return out;
+}
+
+}  // namespace ds::metrics

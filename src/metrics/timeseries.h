@@ -1,0 +1,36 @@
+// Uniformly or irregularly sampled time series used for the utilization
+// plots (Figs. 4, 5, 12, 17) and their summary rows (Tables 3, 4).
+#pragma once
+
+#include <vector>
+
+#include "metrics/stats.h"
+#include "util/units.h"
+
+namespace ds::metrics {
+
+class TimeSeries {
+ public:
+  void push(Seconds t, double v);
+
+  std::size_t size() const { return t_.size(); }
+  bool empty() const { return t_.empty(); }
+  Seconds time(std::size_t i) const { return t_.at(i); }
+  double value(std::size_t i) const { return v_.at(i); }
+  const std::vector<double>& values() const { return v_; }
+  const std::vector<Seconds>& times() const { return t_; }
+
+  // Summary over samples with t in [t0, t1] (whole series by default).
+  Summary summarize() const;
+  Summary summarize(Seconds t0, Seconds t1) const;
+
+  // Average into fixed-width buckets (for coarse plots like Fig. 4's 8-day
+  // view); bucket timestamps are bucket centers. Empty buckets carry 0.
+  TimeSeries rebucket(Seconds bucket_width) const;
+
+ private:
+  std::vector<Seconds> t_;
+  std::vector<double> v_;
+};
+
+}  // namespace ds::metrics

@@ -1,0 +1,39 @@
+#include "sim/event_queue.h"
+
+#include "util/check.h"
+
+namespace ds::sim {
+
+EventId EventQueue::push(SimTime t, std::function<void()> fn) {
+  DS_CHECK_MSG(fn != nullptr, "scheduling a null event callback");
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, next_seq_++, id});
+  live_.emplace(id, std::move(fn));
+  return id;
+}
+
+void EventQueue::cancel(EventId id) { live_.erase(id); }
+
+void EventQueue::skip_dead() const {
+  while (!heap_.empty() && !live_.contains(heap_.top().id)) heap_.pop();
+}
+
+SimTime EventQueue::next_time() const {
+  skip_dead();
+  DS_CHECK_MSG(!heap_.empty(), "next_time() on empty queue");
+  return heap_.top().t;
+}
+
+std::function<void()> EventQueue::pop(SimTime& t) {
+  skip_dead();
+  DS_CHECK_MSG(!heap_.empty(), "pop() on empty queue");
+  const Entry e = heap_.top();
+  heap_.pop();
+  auto it = live_.find(e.id);
+  std::function<void()> fn = std::move(it->second);
+  live_.erase(it);
+  t = e.t;
+  return fn;
+}
+
+}  // namespace ds::sim

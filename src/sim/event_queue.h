@@ -1,0 +1,55 @@
+// Cancellable time-ordered event queue (min-heap with lazy deletion).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ds::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class EventQueue {
+ public:
+  // Schedule `fn` at absolute time `t`. Events at equal times fire in
+  // insertion order. Returns a handle usable with cancel().
+  EventId push(SimTime t, std::function<void()> fn);
+
+  // Cancel a pending event. Cancelling an already-fired or unknown id is a
+  // no-op (callers commonly cancel their "next completion" event eagerly).
+  void cancel(EventId id);
+
+  bool empty() const { return live_.empty(); }
+  std::size_t size() const { return live_.size(); }
+
+  // Time of the earliest pending event; only valid when !empty().
+  SimTime next_time() const;
+
+  // Remove and return the earliest event's callback, setting `t` to its time.
+  std::function<void()> pop(SimTime& t);
+
+ private:
+  struct Entry {
+    SimTime t;
+    std::uint64_t seq;
+    EventId id;
+    bool operator>(const Entry& o) const {
+      if (t != o.t) return t > o.t;
+      return seq > o.seq;
+    }
+  };
+
+  void skip_dead() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, std::function<void()>> live_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace ds::sim

@@ -1,0 +1,91 @@
+#include "sim/executor_pool.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace ds::sim {
+
+ExecutorPool::ExecutorPool(Simulator& sim, std::vector<int> slots_per_node)
+    : sim_(sim), slots_(std::move(slots_per_node)) {
+  DS_CHECK_MSG(!slots_.empty(), "executor pool needs at least one node");
+  for (int s : slots_) DS_CHECK_MSG(s >= 0, "negative slot count");
+  busy_.assign(slots_.size(), 0);
+}
+
+SlotRequestId ExecutorPool::request(std::function<void(NodeId)> granted,
+                                    NodeId pinned_node, int priority) {
+  DS_CHECK(granted != nullptr);
+  if (pinned_node >= 0)
+    DS_CHECK_MSG(pinned_node < num_nodes(), "pinned node out of range");
+  const SlotRequestId id = next_id_++;
+  // Insert before the first waiter with a strictly larger priority value:
+  // lowest priority first, FIFO within a level (ids ascend).
+  auto it = waiters_.end();
+  while (it != waiters_.begin() && std::prev(it)->priority > priority) --it;
+  waiters_.insert(it, Waiter{id, std::move(granted), pinned_node, priority});
+  pump();
+  return id;
+}
+
+void ExecutorPool::cancel(SlotRequestId id) {
+  for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+    if (it->id == id) {
+      waiters_.erase(it);
+      return;
+    }
+  }
+}
+
+void ExecutorPool::release(NodeId node) {
+  auto& b = busy_.at(static_cast<std::size_t>(node));
+  DS_CHECK_MSG(b > 0, "release on node " << node << " with no busy slots");
+  --b;
+  pump();
+}
+
+int ExecutorPool::total_slots() const {
+  return std::accumulate(slots_.begin(), slots_.end(), 0);
+}
+
+int ExecutorPool::total_busy() const {
+  return std::accumulate(busy_.begin(), busy_.end(), 0);
+}
+
+void ExecutorPool::pump() {
+  if (pump_scheduled_) return;
+  pump_scheduled_ = true;
+  // Grants run as a zero-delay event: keeps the call stack flat when a
+  // completion releases a slot that immediately feeds the next task.
+  sim_.schedule_after(0, [this] {
+    pump_scheduled_ = false;
+    // Decide all grants first, then fire callbacks: a callback may re-enter
+    // request()/release(), which must not invalidate our iteration.
+    std::vector<std::pair<std::function<void(NodeId)>, NodeId>> grants;
+    for (auto it = waiters_.begin(); it != waiters_.end();) {
+      NodeId target = -1;
+      if (it->pinned_node >= 0) {
+        if (free_slots(it->pinned_node) > 0) target = it->pinned_node;
+      } else {
+        int best_free = 0;
+        for (NodeId n = 0; n < num_nodes(); ++n) {
+          if (free_slots(n) > best_free) {
+            best_free = free_slots(n);
+            target = n;
+          }
+        }
+      }
+      if (target < 0) {
+        ++it;
+        continue;
+      }
+      ++busy_[static_cast<std::size_t>(target)];
+      grants.emplace_back(std::move(it->granted), target);
+      it = waiters_.erase(it);
+    }
+    for (auto& [granted, node] : grants) granted(node);
+  });
+}
+
+}  // namespace ds::sim

@@ -1,0 +1,62 @@
+// Discrete executor slots (the cluster's CPU resource). Spark-style: a fixed
+// number of executors per worker; waiting tasks are granted slots FIFO, each
+// grant choosing the worker with the most free slots (load-balanced
+// placement, which is also what the paper's Fuxi baseline does).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace ds::sim {
+
+using SlotRequestId = std::uint64_t;
+
+class ExecutorPool {
+ public:
+  ExecutorPool(Simulator& sim, std::vector<int> slots_per_node);
+
+  // Request one slot; `granted(node)` fires (via a zero-delay event) once a
+  // slot is available. Waiters are served lowest `priority` first, FIFO
+  // within a priority level (Spark's FIFO pool generalised — stage
+  // priorities let Graphene-style critical-path-first scheduling reorder the
+  // queue). Optionally restrict to a single node with `pinned_node` >= 0.
+  SlotRequestId request(std::function<void(NodeId)> granted,
+                        NodeId pinned_node = -1, int priority = 0);
+  // Drop a queued request. No-op if it was already granted or unknown.
+  void cancel(SlotRequestId id);
+
+  // Return a slot on `node` previously granted.
+  void release(NodeId node);
+
+  int num_nodes() const { return static_cast<int>(slots_.size()); }
+  int slots(NodeId node) const { return slots_.at(static_cast<std::size_t>(node)); }
+  int busy(NodeId node) const { return busy_.at(static_cast<std::size_t>(node)); }
+  int free_slots(NodeId node) const { return slots(node) - busy(node); }
+  int total_slots() const;
+  int total_busy() const;
+  std::size_t queued() const { return waiters_.size(); }
+
+ private:
+  struct Waiter {
+    SlotRequestId id;
+    std::function<void(NodeId)> granted;
+    NodeId pinned_node;
+    int priority;
+  };
+
+  void pump();  // grant as many waiters as free slots allow
+
+  Simulator& sim_;
+  std::vector<int> slots_;
+  std::vector<int> busy_;
+  std::deque<Waiter> waiters_;
+  SlotRequestId next_id_ = 1;
+  bool pump_scheduled_ = false;
+};
+
+}  // namespace ds::sim

@@ -1,0 +1,101 @@
+#include "sim/fair_queue.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace ds::sim {
+
+FairQueue::FairQueue(Simulator& sim, BytesPerSec capacity)
+    : sim_(sim), capacity_(capacity), last_advance_(sim.now()) {
+  DS_CHECK_MSG(capacity > 0, "FairQueue capacity must be positive");
+}
+
+FairQueue::~FairQueue() {
+  if (pending_event_ != kInvalidEvent) sim_.cancel(pending_event_);
+}
+
+ClaimId FairQueue::submit(Bytes volume, std::function<void()> on_complete) {
+  DS_CHECK_MSG(volume >= 0, "negative claim volume " << volume);
+  advance_to_now();
+  const ClaimId id = next_id_++;
+  claims_.emplace(id, Claim{volume, std::move(on_complete)});
+  reschedule();
+  return id;
+}
+
+void FairQueue::cancel(ClaimId id) {
+  advance_to_now();
+  claims_.erase(id);
+  reschedule();
+}
+
+BytesPerSec FairQueue::current_rate() const {
+  return claims_.empty() ? 0 : capacity_;
+}
+
+BytesPerSec FairQueue::share() const {
+  return claims_.empty() ? capacity_
+                         : capacity_ / static_cast<double>(claims_.size());
+}
+
+void FairQueue::advance_to_now() {
+  const SimTime now = sim_.now();
+  const Seconds dt = now - last_advance_;
+  last_advance_ = now;
+  if (dt <= 0 || claims_.empty()) return;
+  const BytesPerSec per_claim = capacity_ / static_cast<double>(claims_.size());
+  for (auto& [id, claim] : claims_) {
+    const Bytes used = std::min(claim.remaining, per_claim * dt);
+    claim.remaining -= used;
+    serviced_ += used;
+  }
+}
+
+void FairQueue::reschedule() {
+  if (pending_event_ != kInvalidEvent) {
+    sim_.cancel(pending_event_);
+    pending_event_ = kInvalidEvent;
+  }
+  if (claims_.empty()) return;
+  const BytesPerSec per_claim = capacity_ / static_cast<double>(claims_.size());
+  Seconds next = -1;
+  for (const auto& [id, claim] : claims_) {
+    const Seconds t = fluid_done(claim.remaining, per_claim)
+                          ? 0.0
+                          : claim.remaining / per_claim;
+    if (next < 0 || t < next) next = t;
+  }
+  pending_event_ = sim_.schedule_after(next, [this] {
+    pending_event_ = kInvalidEvent;
+    on_completion_event();
+  });
+}
+
+void FairQueue::on_completion_event() {
+  advance_to_now();
+  const BytesPerSec per_claim =
+      claims_.empty() ? capacity_
+                      : capacity_ / static_cast<double>(claims_.size());
+  // Collect finished claims first (callbacks may submit new claims), sorted
+  // by id so callback order never depends on hash-map layout.
+  std::vector<std::pair<ClaimId, std::function<void()>>> done;
+  for (auto it = claims_.begin(); it != claims_.end();) {
+    if (fluid_done(it->second.remaining, per_claim)) {
+      done.emplace_back(it->first, std::move(it->second.on_complete));
+      it = claims_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  reschedule();
+  std::sort(done.begin(), done.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [id, fn] : done) {
+    if (fn) fn();
+  }
+}
+
+}  // namespace ds::sim

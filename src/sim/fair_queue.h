@@ -1,0 +1,63 @@
+// A fluid resource of fixed capacity shared *equally* among active claims —
+// the paper's model for disk bandwidth (D^w / #writers). Progress is advanced
+// lazily; a single pending completion event is kept per queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "util/units.h"
+
+namespace ds::sim {
+
+using ClaimId = std::uint64_t;
+
+class FairQueue {
+ public:
+  // `capacity` in bytes/second, shared equally among concurrent claims.
+  FairQueue(Simulator& sim, BytesPerSec capacity);
+  ~FairQueue();
+  FairQueue(const FairQueue&) = delete;
+  FairQueue& operator=(const FairQueue&) = delete;
+
+  // Submit `volume` bytes of work; `on_complete` fires when they have been
+  // fully serviced. Zero-volume claims complete on the next event.
+  ClaimId submit(Bytes volume, std::function<void()> on_complete);
+
+  // Abort a pending claim (no completion callback). Unknown id: no-op.
+  void cancel(ClaimId id);
+
+  std::size_t active() const { return claims_.size(); }
+  BytesPerSec capacity() const { return capacity_; }
+  // Aggregate service rate right now (capacity if busy, else 0).
+  BytesPerSec current_rate() const;
+  // Per-claim share right now.
+  BytesPerSec share() const;
+  // Total bytes serviced since construction (advanced lazily; callers that
+  // sample should call `sync()` first).
+  Bytes total_serviced() const { return serviced_; }
+  void sync() { advance_to_now(); }
+
+ private:
+  struct Claim {
+    Bytes remaining;
+    std::function<void()> on_complete;
+  };
+
+  void advance_to_now();
+  void reschedule();
+  void on_completion_event();
+
+  Simulator& sim_;
+  const BytesPerSec capacity_;
+  std::unordered_map<ClaimId, Claim> claims_;
+  ClaimId next_id_ = 1;
+  SimTime last_advance_ = 0;
+  EventId pending_event_ = kInvalidEvent;
+  Bytes serviced_ = 0;
+};
+
+}  // namespace ds::sim

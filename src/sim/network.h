@@ -1,0 +1,125 @@
+// Fluid network fabric with max-min fair bandwidth sharing.
+//
+// Every node has a full-duplex NIC (egress and ingress capacities equal to
+// its provisioned bandwidth) plus a fast loopback path for node-local reads.
+// A remote flow consumes one unit of demand on the source's egress port and
+// the destination's ingress port; flow rates are the max-min fair allocation
+// over those ports (progressive water-filling), recomputed whenever a flow
+// starts or finishes. This yields exactly the equal-share behaviour the
+// paper's Eq. (1) assumes when parallel stages contend for a link, plus
+// realistic incast when many reducers pull from one upstream node.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "util/units.h"
+
+namespace ds::sim {
+
+using NodeId = int;
+using FlowId = std::uint64_t;
+
+struct FlowSpec {
+  NodeId src = 0;
+  NodeId dst = 0;
+  Bytes bytes = 0;
+  // Contention group (typically the stage id). Ports serving flows from
+  // multiple distinct groups lose aggregate efficiency (see group_penalty).
+  // -1 = anonymous: all anonymous flows count as one group.
+  int group = -1;
+  std::function<void()> on_complete;
+};
+
+// Max-min fair allocation: flow i uses the ports in flow_ports[i] (unused
+// entries are -1); caps[p] is port p's capacity. Exposed standalone so tests
+// can pin the allocator against hand-computed allocations.
+using FlowPorts = std::array<int, 3>;
+std::vector<double> max_min_allocate(const std::vector<FlowPorts>& flow_ports,
+                                     const std::vector<double>& caps);
+
+class NetworkFabric {
+ public:
+  // `nic_bw[n]` is node n's NIC bandwidth (applied to both directions).
+  // `loopback_bw` bounds node-local transfers (shared per node, max-min like
+  // any other port); it models memory/local-disk read speed, not the NIC.
+  //
+  // `group_penalty` (β ≥ 0) models the throughput loss real networks and
+  // storage servers suffer when *unrelated* transfer sets interleave on one
+  // port (TCP incast collapse, interleaved disk service on the shuffle
+  // source): a port carrying flows from g distinct groups serves an
+  // effective capacity C / (1 + β·(g − 1)). β = 0 restores the ideal
+  // work-conserving fabric. This is the non-work-conserving contention the
+  // paper's motivation measures (Figs. 4-5) and DelayStage exploits.
+  // `site_of[n]` (optional) assigns node n to a geo site; flows between
+  // different sites additionally cross a per-site-pair WAN port of capacity
+  // `wan_bw` — the geo-distributed setting §6 names as future work.
+  NetworkFabric(Simulator& sim, std::vector<BytesPerSec> nic_bw,
+                BytesPerSec loopback_bw, double group_penalty = 0.0,
+                std::vector<int> site_of = {}, BytesPerSec wan_bw = 0);
+  ~NetworkFabric();
+  NetworkFabric(const NetworkFabric&) = delete;
+  NetworkFabric& operator=(const NetworkFabric&) = delete;
+
+  FlowId start_flow(FlowSpec spec);
+  // Abort a flow without firing its completion callback. Unknown id: no-op.
+  void cancel(FlowId id);
+
+  int num_nodes() const { return static_cast<int>(nic_bw_.size()); }
+  std::size_t active_flows() const { return flows_.size(); }
+  BytesPerSec nic_bw(NodeId n) const { return nic_bw_.at(static_cast<std::size_t>(n)); }
+
+  // Instantaneous NIC throughput for metrics sampling (remote flows only —
+  // loopback traffic never touches the NIC).
+  BytesPerSec node_rx_rate(NodeId n) const;
+  BytesPerSec node_tx_rate(NodeId n) const;
+  // Total bytes delivered over the fabric so far (lazy; call sync() to get
+  // an up-to-the-instant figure).
+  Bytes total_delivered() const { return delivered_; }
+  void sync() { advance_to_now(); }
+
+ private:
+  struct Flow {
+    NodeId src;
+    NodeId dst;
+    Bytes remaining;
+    int group;
+    BytesPerSec rate = 0;
+    std::function<void()> on_complete;
+  };
+
+  int egress_port(NodeId n) const { return n; }
+  int ingress_port(NodeId n) const { return num_nodes() + n; }
+  int loopback_port(NodeId n) const { return 2 * num_nodes() + n; }
+  int site_of(NodeId n) const {
+    return site_of_.empty() ? 0 : site_of_[static_cast<std::size_t>(n)];
+  }
+  int wan_port(int src_site, int dst_site) const {
+    return 3 * num_nodes() + src_site * num_sites_ + dst_site;
+  }
+
+  void advance_to_now();
+  void reallocate();
+  void reschedule();
+  void on_completion_event();
+
+  Simulator& sim_;
+  std::vector<BytesPerSec> nic_bw_;
+  BytesPerSec loopback_bw_;
+  double group_penalty_;
+  std::vector<int> site_of_;
+  BytesPerSec wan_bw_ = 0;
+  int num_sites_ = 1;
+  std::unordered_map<FlowId, Flow> flows_;
+  FlowId next_id_ = 1;
+  SimTime last_advance_ = 0;
+  EventId pending_event_ = kInvalidEvent;
+  Bytes delivered_ = 0;
+};
+
+}  // namespace ds::sim

@@ -1,0 +1,49 @@
+#include "sim/simulator.h"
+
+#include "util/check.h"
+
+namespace ds::sim {
+
+EventId Simulator::schedule_at(SimTime t, std::function<void()> fn) {
+  // Allow a hair of backwards slop from floating-point arithmetic but clamp
+  // to now(): time never runs backwards.
+  DS_CHECK_MSG(t >= now_ - 1e-9, "scheduling into the past: t=" << t
+                                                                << " now=" << now_);
+  return queue_.push(std::max(t, now_), std::move(fn));
+}
+
+EventId Simulator::schedule_after(Seconds dt, std::function<void()> fn) {
+  DS_CHECK_MSG(dt >= -1e-9, "negative delay " << dt);
+  return schedule_at(now_ + std::max(dt, 0.0), std::move(fn));
+}
+
+void Simulator::cancel(EventId id) { queue_.cancel(id); }
+
+SimTime Simulator::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+bool Simulator::run_until(SimTime t) {
+  bool fired = false;
+  while (!queue_.empty() && queue_.next_time() <= t) {
+    step();
+    fired = true;
+  }
+  now_ = std::max(now_, t);
+  return fired;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  SimTime t = 0;
+  auto fn = queue_.pop(t);
+  DS_CHECK(t >= now_ - 1e-9);
+  now_ = std::max(now_, t);
+  ++processed_;
+  fn();
+  return true;
+}
+
+}  // namespace ds::sim

@@ -1,0 +1,81 @@
+#include "trace/stats.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/check.h"
+
+namespace ds::trace {
+
+namespace {
+
+Seconds stage_solo(const TraceStage& s) {
+  return s.read_solo + s.compute_solo + s.write_solo;
+}
+
+// Longest path over a filtered stage set (all stages when filter empty).
+Seconds longest_chain(const TraceJob& job, const std::vector<bool>* in_set) {
+  const auto n = job.stages.size();
+  std::vector<Seconds> best(n, -1);
+  // Stage indices are not guaranteed topological; iterate to fixpoint via
+  // memoized DFS instead.
+  std::vector<int> state(n, 0);  // 0 unvisited, 1 visiting, 2 done
+  std::vector<Seconds> memo(n, 0);
+  std::function<Seconds(std::size_t)> visit = [&](std::size_t s) -> Seconds {
+    if (state[s] == 2) return memo[s];
+    DS_CHECK_MSG(state[s] != 1, "cycle in trace job " << job.name);
+    state[s] = 1;
+    Seconds up = 0;
+    for (int p : job.stages[s].parents)
+      up = std::max(up, visit(static_cast<std::size_t>(p)));
+    const bool counted = in_set == nullptr || (*in_set)[s];
+    memo[s] = up + (counted ? stage_solo(job.stages[s]) : 0.0);
+    state[s] = 2;
+    return memo[s];
+  };
+  Seconds total = 0;
+  for (std::size_t s = 0; s < n; ++s) total = std::max(total, visit(s));
+  return total;
+}
+
+// Parallel-stage membership flags (the K set) for a trace job.
+std::vector<bool> parallel_flags(const TraceJob& job) {
+  const dag::JobDag j = to_job_dag(job);
+  std::vector<bool> flags(job.stages.size(), false);
+  for (dag::StageId s : j.parallel_stage_set())
+    flags[static_cast<std::size_t>(s)] = true;
+  return flags;
+}
+
+}  // namespace
+
+Seconds critical_path_time(const TraceJob& job) {
+  return longest_chain(job, nullptr);
+}
+
+Seconds parallel_region_time(const TraceJob& job) {
+  const std::vector<bool> flags = parallel_flags(job);
+  return longest_chain(job, &flags);
+}
+
+TraceStats analyze(const std::vector<TraceJob>& jobs) {
+  TraceStats st;
+  for (const TraceJob& job : jobs) {
+    ++st.total_jobs;
+    const std::vector<bool> flags = parallel_flags(job);
+    const auto parallel =
+        static_cast<std::size_t>(std::count(flags.begin(), flags.end(), true));
+    st.total_stages += job.stages.size();
+    st.total_parallel_stages += parallel;
+    if (parallel > 0) ++st.jobs_with_parallel_stages;
+    st.stages_per_job.add(static_cast<double>(job.stages.size()));
+    st.parallel_stages_per_job.add(static_cast<double>(parallel));
+    const Seconds jct = critical_path_time(job);
+    if (jct > 0 && parallel > 0) {
+      st.parallel_makespan_share.add(100.0 * parallel_region_time(job) / jct);
+    }
+  }
+  return st;
+}
+
+}  // namespace ds::trace

@@ -1,0 +1,48 @@
+// Trace-level statistics backing the motivation figures:
+//   Fig. 2 — CDFs of #stages and #parallel stages per job,
+//   Fig. 3 — CDF of the parallel-stage makespan share of the JCT,
+// plus the §2.1 headline aggregates (fraction of jobs with parallel stages,
+// parallel-stage share of all stages).
+#pragma once
+
+#include <vector>
+
+#include "metrics/cdf.h"
+#include "trace/trace.h"
+
+namespace ds::trace {
+
+struct TraceStats {
+  metrics::Cdf stages_per_job;
+  metrics::Cdf parallel_stages_per_job;
+  metrics::Cdf parallel_makespan_share;  // percent of JCT (Fig. 3)
+  std::size_t total_jobs = 0;
+  std::size_t jobs_with_parallel_stages = 0;
+  std::size_t total_stages = 0;
+  std::size_t total_parallel_stages = 0;
+
+  double parallel_job_fraction() const {
+    return total_jobs == 0 ? 0.0
+                           : static_cast<double>(jobs_with_parallel_stages) /
+                                 static_cast<double>(total_jobs);
+  }
+  double parallel_stage_fraction() const {
+    return total_stages == 0 ? 0.0
+                             : static_cast<double>(total_parallel_stages) /
+                                   static_cast<double>(total_stages);
+  }
+};
+
+// Analyse a set of trace jobs (topological analysis per job, critical-path
+// times from the solo stage durations).
+TraceStats analyze(const std::vector<TraceJob>& jobs);
+
+// Critical-path execution time of a job from solo durations; the paper's
+// "job execution time" in Fig. 3's denominator.
+Seconds critical_path_time(const TraceJob& job);
+
+// Makespan of the parallel-stage region on the critical path (numerator of
+// Fig. 3): the longest chain restricted to the parallel-stage set.
+Seconds parallel_region_time(const TraceJob& job);
+
+}  // namespace ds::trace

@@ -1,0 +1,50 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ds::trace {
+
+dag::JobDag to_job_dag(const TraceJob& job, const ReferenceRates& ref) {
+  DS_CHECK(ref.nic_bw > 0 && ref.disk_bw > 0 && ref.executors >= 1 &&
+           ref.num_workers >= 1);
+  dag::JobDag j(job.name);
+  for (const auto& ts : job.stages) {
+    dag::Stage s;
+    s.name = ts.name;
+    s.num_tasks = std::max(1, ts.num_tasks);
+    s.task_skew = ts.task_skew;
+    // Capacity actually reachable by this stage when running alone: tasks
+    // pack tasks_per_node to a machine, so a T-task stage spans about
+    // T / tasks_per_node machines' NICs and disks.
+    const double net_nodes = std::clamp(
+        static_cast<double>(s.num_tasks) / std::max(1.0, ref.tasks_per_node),
+        1.0, static_cast<double>(ref.num_workers));
+    const double disk_nodes = net_nodes;
+    s.input_bytes = ts.read_solo * net_nodes * ref.nic_bw;
+    if (s.input_bytes <= 0 && ts.compute_solo > 0) {
+      // Compute-only stages still need a nonzero volume to carry the
+      // compute-work term (Eq. 1's Σs / (ε·R)).
+      s.input_bytes = 1e6;
+    }
+    const double execs =
+        std::min(static_cast<double>(s.num_tasks), ref.executors);
+    s.process_rate = ts.compute_solo > 0
+                         ? s.input_bytes / (ts.compute_solo * execs)
+                         : 0.0;
+    s.output_bytes = ts.write_solo * disk_nodes * ref.disk_bw;
+    j.add_stage(s);
+  }
+  for (std::size_t c = 0; c < job.stages.size(); ++c) {
+    for (int p : job.stages[c].parents) {
+      DS_CHECK_MSG(p >= 0 && static_cast<std::size_t>(p) < job.stages.size(),
+                   "bad parent index " << p << " in job " << job.name);
+      j.add_edge(p, static_cast<dag::StageId>(c));
+    }
+  }
+  j.topo_order();  // validate acyclicity eagerly
+  return j;
+}
+
+}  // namespace ds::trace

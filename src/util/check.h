@@ -1,0 +1,44 @@
+// Runtime invariant checking. DS_CHECK stays on in release builds: the
+// simulator's correctness depends on these invariants and their cost is
+// negligible next to the event loop.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ds {
+
+// Error type thrown by all DS_CHECK* macros. Distinct from std::logic_error
+// so tests can assert on simulator-invariant violations specifically.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace ds
+
+#define DS_CHECK(cond)                                                \
+  do {                                                                \
+    if (!(cond)) ::ds::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define DS_CHECK_MSG(cond, msg)                                       \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::ostringstream ds_check_os_;                                \
+      ds_check_os_ << msg;                                            \
+      ::ds::detail::check_failed(#cond, __FILE__, __LINE__,           \
+                                 ds_check_os_.str());                 \
+    }                                                                 \
+  } while (0)

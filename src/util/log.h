@@ -1,0 +1,34 @@
+// Minimal leveled logger. Default level is kWarn so library code is silent in
+// tests and benches; examples raise it to kInfo to narrate what the cluster
+// is doing.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ds {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+}  // namespace ds
+
+#define DS_LOG(level, expr)                                        \
+  do {                                                             \
+    if (static_cast<int>(level) >= static_cast<int>(::ds::log_level())) { \
+      std::ostringstream ds_log_os_;                               \
+      ds_log_os_ << expr;                                          \
+      ::ds::detail::log_line(level, ds_log_os_.str());             \
+    }                                                              \
+  } while (0)
+
+#define DS_DEBUG(expr) DS_LOG(::ds::LogLevel::kDebug, expr)
+#define DS_INFO(expr) DS_LOG(::ds::LogLevel::kInfo, expr)
+#define DS_WARN(expr) DS_LOG(::ds::LogLevel::kWarn, expr)
+#define DS_ERROR(expr) DS_LOG(::ds::LogLevel::kError, expr)

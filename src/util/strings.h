@@ -1,0 +1,25 @@
+// Small string utilities shared by the trace parser and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ds {
+
+// Split on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+// True if `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+// Parse a non-negative integer; returns false on any non-digit content.
+bool parse_u64(std::string_view s, std::uint64_t& out);
+
+// Parse a double; returns false on malformed input.
+bool parse_double(std::string_view s, double& out);
+
+}  // namespace ds

@@ -1,0 +1,35 @@
+// Unit helpers. All quantities in the library use SI base units:
+//   data volume  — bytes   (double; volumes are fluid, not addressable memory)
+//   bandwidth    — bytes/second
+//   time         — seconds
+// The helpers below exist so call sites read like the paper ("30 GB input",
+// "480 Mbps NIC", "80 MB/s disk") instead of raw exponents.
+#pragma once
+
+namespace ds {
+
+using Bytes = double;          // data volume
+using BytesPerSec = double;    // bandwidth / processing rate
+using Seconds = double;        // durations and absolute sim time
+
+constexpr Bytes operator""_KB(long double v) { return static_cast<Bytes>(v) * 1e3; }
+constexpr Bytes operator""_MB(long double v) { return static_cast<Bytes>(v) * 1e6; }
+constexpr Bytes operator""_GB(long double v) { return static_cast<Bytes>(v) * 1e9; }
+constexpr Bytes operator""_KB(unsigned long long v) { return static_cast<Bytes>(v) * 1e3; }
+constexpr Bytes operator""_MB(unsigned long long v) { return static_cast<Bytes>(v) * 1e6; }
+constexpr Bytes operator""_GB(unsigned long long v) { return static_cast<Bytes>(v) * 1e9; }
+
+// Network bandwidth is quoted in bits/s (Mbps, Gbps); disk in bytes/s (MB/s).
+constexpr BytesPerSec operator""_Mbps(long double v) { return static_cast<BytesPerSec>(v) * 1e6 / 8.0; }
+constexpr BytesPerSec operator""_Gbps(long double v) { return static_cast<BytesPerSec>(v) * 1e9 / 8.0; }
+constexpr BytesPerSec operator""_Mbps(unsigned long long v) { return static_cast<BytesPerSec>(v) * 1e6 / 8.0; }
+constexpr BytesPerSec operator""_Gbps(unsigned long long v) { return static_cast<BytesPerSec>(v) * 1e9 / 8.0; }
+constexpr BytesPerSec operator""_MBps(long double v) { return static_cast<BytesPerSec>(v) * 1e6; }
+constexpr BytesPerSec operator""_MBps(unsigned long long v) { return static_cast<BytesPerSec>(v) * 1e6; }
+
+constexpr double to_MB(Bytes b) { return b / 1e6; }
+constexpr double to_GB(Bytes b) { return b / 1e9; }
+constexpr double to_MBps(BytesPerSec r) { return r / 1e6; }
+constexpr double to_Mbps(BytesPerSec r) { return r * 8.0 / 1e6; }
+
+}  // namespace ds

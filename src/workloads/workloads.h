@@ -1,0 +1,47 @@
+// Volumetric models of the paper's benchmark workloads (Table 2) plus the
+// ALS motivation job (Figs. 1, 5, 6).
+//
+// Each builder returns a JobDag whose stage volumes/rates were calibrated so
+// that the *stock Spark* run on the corresponding paper cluster lands near
+// the paper's reported job completion time, and whose DAG shape matches the
+// stage counts and execution-path structure the paper describes. DelayStage
+// sees only this profile-level information — exactly what its Spark
+// prototype extracts from event logs.
+//
+// `scale` multiplies all data volumes (1.0 = the paper's dataset sizes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dag/job.h"
+
+namespace ds::workloads {
+
+// ALS, 6 stages (Fig. 1): the motivation example run on the three-node
+// cluster (Figs. 5-6; 3 GB input).
+dag::JobDag als(double scale = 1.0);
+
+// ConnectedComponents (Spark GraphX), 5 stages, 10 GB synthetic input.
+// Sequential stages dominate (~55% of JCT) — the least-improved workload.
+dag::JobDag connected_components(double scale = 1.0);
+
+// CosineSimilarity (Spark MLlib), 5 stages, 30 GB synthetic input.
+dag::JobDag cosine_similarity(double scale = 1.0);
+
+// LDA (Spark MLlib), 5 stages, 140M Wikipedia documents. Nearly homogeneous
+// task partitions (the workload where AggShuffle gains nothing).
+dag::JobDag lda(double scale = 1.0);
+
+// TriangleCount (Spark GraphX), 11 stages, 100M connections.
+dag::JobDag triangle_count(double scale = 1.0);
+
+struct Workload {
+  std::string name;
+  dag::JobDag dag;
+};
+
+// The four workloads of the §5 prototype evaluation, in the paper's order.
+std::vector<Workload> benchmark_suite(double scale = 1.0);
+
+}  // namespace ds::workloads

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "sim/cluster.h"
+#include "util/check.h"
+#include "util/units.h"
+
+namespace ds::sim {
+namespace {
+
+using namespace ds;  // literals
+
+TEST(ClusterSpec, PaperPrototypeMatchesSection51) {
+  const auto s = ClusterSpec::paper_prototype();
+  EXPECT_EQ(s.num_workers, 30);
+  EXPECT_EQ(s.executors_per_worker, 2);
+  EXPECT_EQ(s.total_executors(), 60);
+  EXPECT_EQ(s.num_storage_nodes, 3);
+  EXPECT_DOUBLE_EQ(s.nic_bw_min, 100_Mbps);
+  EXPECT_DOUBLE_EQ(s.nic_bw_max, 480_Mbps);
+}
+
+TEST(ClusterSpec, PaperSimulationMatchesSection53) {
+  const auto s = ClusterSpec::paper_simulation();
+  EXPECT_EQ(s.num_workers, 4000);
+  EXPECT_DOUBLE_EQ(s.nic_bw_min, 100_Mbps);
+  EXPECT_DOUBLE_EQ(s.nic_bw_max, 2.0_Gbps);
+  EXPECT_DOUBLE_EQ(s.disk_bw, 80_MBps);
+}
+
+TEST(Cluster, NodeNumberingWorkersThenStorage) {
+  Simulator sim;
+  Cluster c(sim, ClusterSpec::three_node(), /*seed=*/1);
+  EXPECT_EQ(c.num_workers(), 3);
+  EXPECT_EQ(c.num_storage_nodes(), 1);
+  EXPECT_EQ(c.worker(0), 0);
+  EXPECT_EQ(c.worker(2), 2);
+  EXPECT_EQ(c.storage_node(0), 3);
+  EXPECT_TRUE(c.is_worker(2));
+  EXPECT_FALSE(c.is_worker(3));
+  EXPECT_THROW(c.worker(3), CheckError);
+  EXPECT_THROW(c.storage_node(1), CheckError);
+}
+
+TEST(Cluster, NicBandwidthDrawnWithinSpecRange) {
+  Simulator sim;
+  const auto spec = ClusterSpec::paper_prototype();
+  Cluster c(sim, spec, 42);
+  for (int n = 0; n < c.total_nodes(); ++n) {
+    EXPECT_GE(c.nic_bw(n), spec.nic_bw_min);
+    EXPECT_LE(c.nic_bw(n), spec.nic_bw_max);
+  }
+}
+
+TEST(Cluster, NicDrawIsSeedDeterministic) {
+  Simulator s1, s2, s3;
+  Cluster a(s1, ClusterSpec::paper_prototype(), 7);
+  Cluster b(s2, ClusterSpec::paper_prototype(), 7);
+  Cluster c(s3, ClusterSpec::paper_prototype(), 8);
+  bool any_diff = false;
+  for (int n = 0; n < a.total_nodes(); ++n) {
+    EXPECT_DOUBLE_EQ(a.nic_bw(n), b.nic_bw(n));
+    any_diff |= (a.nic_bw(n) != c.nic_bw(n));
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Cluster, ExecutorPoolSizedForWorkersOnly) {
+  Simulator sim;
+  Cluster c(sim, ClusterSpec::paper_prototype(), 1);
+  EXPECT_EQ(c.executors().num_nodes(), 30);
+  EXPECT_EQ(c.executors().total_slots(), 60);
+}
+
+TEST(Cluster, ComputeAccountingBracketsAndBounds) {
+  Simulator sim;
+  Cluster c(sim, ClusterSpec::three_node(), 1);
+  EXPECT_EQ(c.computing(0), 0);
+  c.begin_compute(0);
+  c.begin_compute(0);
+  EXPECT_EQ(c.computing(0), 2);
+  EXPECT_THROW(c.begin_compute(0), CheckError);  // only 2 executors
+  c.end_compute(0);
+  c.end_compute(0);
+  EXPECT_THROW(c.end_compute(0), CheckError);
+  EXPECT_THROW(c.begin_compute(c.storage_node(0)), CheckError);
+}
+
+TEST(Cluster, DisksExistForAllNodesIncludingStorage) {
+  Simulator sim;
+  Cluster c(sim, ClusterSpec::paper_prototype(), 1);
+  EXPECT_DOUBLE_EQ(c.disk(0).capacity(), c.spec().disk_bw);
+  EXPECT_DOUBLE_EQ(c.disk(c.storage_node(2)).capacity(), c.spec().disk_bw);
+}
+
+}  // namespace
+}  // namespace ds::sim

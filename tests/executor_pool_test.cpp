@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/executor_pool.h"
+#include "sim/simulator.h"
+#include "util/check.h"
+
+namespace ds::sim {
+namespace {
+
+TEST(ExecutorPool, GrantsUpToCapacity) {
+  Simulator sim;
+  ExecutorPool pool(sim, {2});
+  std::vector<NodeId> granted;
+  for (int i = 0; i < 3; ++i)
+    pool.request([&](NodeId n) { granted.push_back(n); });
+  sim.run();
+  EXPECT_EQ(granted.size(), 2u);
+  EXPECT_EQ(pool.busy(0), 2);
+  EXPECT_EQ(pool.queued(), 1u);
+}
+
+TEST(ExecutorPool, ReleaseFeedsWaitersFifo) {
+  Simulator sim;
+  ExecutorPool pool(sim, {1});
+  std::vector<int> order;
+  pool.request([&](NodeId) { order.push_back(0); });
+  pool.request([&](NodeId) { order.push_back(1); });
+  pool.request([&](NodeId) { order.push_back(2); });
+  sim.run();
+  ASSERT_EQ(order, (std::vector<int>{0}));
+  pool.release(0);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  pool.release(0);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ExecutorPool, BalancedPlacementPicksFreestNode) {
+  Simulator sim;
+  ExecutorPool pool(sim, {2, 2});
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 4; ++i) pool.request([&](NodeId n) { nodes.push_back(n); });
+  sim.run();
+  ASSERT_EQ(nodes.size(), 4u);
+  EXPECT_EQ(pool.busy(0), 2);
+  EXPECT_EQ(pool.busy(1), 2);
+  // Alternates because the freest node flips after each grant.
+  EXPECT_NE(nodes[0], nodes[1]);
+}
+
+TEST(ExecutorPool, PinnedRequestWaitsForItsNode) {
+  Simulator sim;
+  ExecutorPool pool(sim, {1, 1});
+  NodeId pinned_got = -1;
+  NodeId free_got = -1;
+  pool.request([&](NodeId n) { pinned_got = n; }, /*pinned_node=*/1);
+  pool.request([&](NodeId n) { pinned_got = n; }, 1);  // queued: node 1 full
+  pool.request([&](NodeId n) { free_got = n; });
+  sim.run();
+  EXPECT_EQ(pinned_got, 1);
+  EXPECT_EQ(free_got, 0);  // unpinned waiter overtakes the stuck pinned one
+  EXPECT_EQ(pool.queued(), 1u);
+}
+
+TEST(ExecutorPool, CancelRemovesQueuedRequest) {
+  Simulator sim;
+  ExecutorPool pool(sim, {1});
+  bool fired = false;
+  pool.request([](NodeId) {});
+  const SlotRequestId id = pool.request([&](NodeId) { fired = true; });
+  sim.run();
+  pool.cancel(id);
+  pool.release(0);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(ExecutorPool, GrantedCallbackMayRequestAgain) {
+  Simulator sim;
+  ExecutorPool pool(sim, {1});
+  int grants = 0;
+  std::function<void(NodeId)> cb = [&](NodeId n) {
+    ++grants;
+    if (grants < 3) {
+      pool.release(n);
+      pool.request(cb);
+    }
+  };
+  pool.request(cb);
+  sim.run();
+  EXPECT_EQ(grants, 3);
+}
+
+TEST(ExecutorPool, CountsStayConsistent) {
+  Simulator sim;
+  ExecutorPool pool(sim, {2, 3});
+  EXPECT_EQ(pool.total_slots(), 5);
+  for (int i = 0; i < 5; ++i) pool.request([](NodeId) {});
+  sim.run();
+  EXPECT_EQ(pool.total_busy(), 5);
+  pool.release(0);
+  pool.release(1);
+  sim.run();
+  EXPECT_EQ(pool.total_busy(), 3);
+}
+
+TEST(ExecutorPool, ReleaseWithoutBusyThrows) {
+  Simulator sim;
+  ExecutorPool pool(sim, {1});
+  EXPECT_THROW(pool.release(0), CheckError);
+}
+
+}  // namespace
+}  // namespace ds::sim

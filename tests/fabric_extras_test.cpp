@@ -1,0 +1,134 @@
+// Focused tests for the fabric's cross-stage contention penalty and the
+// executor pool's priority/pinning interplay.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/cluster.h"
+#include "sim/executor_pool.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace ds::sim {
+namespace {
+
+TEST(GroupPenalty, SameGroupFlowsPayNoPenalty) {
+  Simulator sim;
+  NetworkFabric net(sim, {100.0, 100.0}, 1000.0, /*group_penalty=*/1.0);
+  double a = -1, b = -1;
+  net.start_flow({0, 1, 100.0, /*group=*/3, [&] { a = sim.now(); }});
+  net.start_flow({0, 1, 100.0, /*group=*/3, [&] { b = sim.now(); }});
+  sim.run();
+  // One group: the 100 B/s egress splits 50/50, no efficiency loss.
+  EXPECT_NEAR(a, 2.0, 1e-6);
+  EXPECT_NEAR(b, 2.0, 1e-6);
+}
+
+TEST(GroupPenalty, DistinctGroupsLoseAggregateCapacity) {
+  Simulator sim;
+  NetworkFabric net(sim, {100.0, 100.0}, 1000.0, /*group_penalty=*/1.0);
+  double a = -1, b = -1;
+  net.start_flow({0, 1, 100.0, /*group=*/1, [&] { a = sim.now(); }});
+  net.start_flow({0, 1, 100.0, /*group=*/2, [&] { b = sim.now(); }});
+  sim.run();
+  // Two groups: capacity 100 / (1 + ln 2) ≈ 59.07, split 50/50.
+  const double expect = 200.0 / (100.0 / (1.0 + std::log(2.0)));
+  EXPECT_NEAR(a, expect, 1e-6);
+  EXPECT_NEAR(b, expect, 1e-6);
+}
+
+TEST(GroupPenalty, AnonymousFlowsAreOneGroup) {
+  Simulator sim;
+  NetworkFabric net(sim, {100.0, 100.0}, 1000.0, /*group_penalty=*/1.0);
+  double a = -1;
+  net.start_flow({.src = 0, .dst = 1, .bytes = 100.0,
+                  .on_complete = [&] { a = sim.now(); }});
+  net.start_flow({.src = 0, .dst = 1, .bytes = 100.0});
+  sim.run();
+  EXPECT_NEAR(a, 2.0, 1e-6);  // both group -1: no penalty
+}
+
+TEST(GroupPenalty, PenaltyLiftsWhenAGroupDrains) {
+  Simulator sim;
+  NetworkFabric net(sim, {100.0, 100.0}, 1000.0, /*group_penalty=*/1.0);
+  double small = -1, big = -1;
+  const double eff2 = 100.0 / (1.0 + std::log(2.0));  // ≈ 59.07
+  net.start_flow({0, 1, 59.07 / 2.0, 1, [&] { small = sim.now(); }});
+  net.start_flow({0, 1, 1000.0, 2, [&] { big = sim.now(); }});
+  sim.run();
+  // Small flow: half of eff2 -> done at t = 1. Big flow: ~29.5 B done at
+  // t = 1, then full 100 B/s alone.
+  EXPECT_NEAR(small, 1.0, 1e-3);
+  EXPECT_NEAR(big, 1.0 + (1000.0 - eff2 / 2.0) / 100.0, 0.05);
+}
+
+TEST(GroupPenalty, ZeroBetaIsWorkConserving) {
+  Simulator sim;
+  NetworkFabric net(sim, {100.0, 100.0}, 1000.0, /*group_penalty=*/0.0);
+  double a = -1;
+  net.start_flow({0, 1, 100.0, 1, [&] { a = sim.now(); }});
+  net.start_flow({0, 1, 100.0, 2, nullptr});
+  sim.run_until(2.0);
+  EXPECT_NEAR(a, 2.0, 1e-6);
+}
+
+TEST(ExecutorPoolPriority, PriorityBeatsArrivalOrder) {
+  Simulator sim;
+  ExecutorPool pool(sim, {1});
+  std::vector<int> order;
+  pool.request([&](NodeId) { order.push_back(0); });  // takes the slot
+  pool.request([&](NodeId) { order.push_back(1); }, -1, /*priority=*/5);
+  pool.request([&](NodeId) { order.push_back(2); }, -1, /*priority=*/1);
+  sim.run();
+  pool.release(0);
+  sim.run();
+  pool.release(0);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+}
+
+TEST(ExecutorPoolPriority, FifoWithinALevel) {
+  Simulator sim;
+  ExecutorPool pool(sim, {1});
+  std::vector<int> order;
+  pool.request([&](NodeId) { order.push_back(0); });
+  for (int i = 1; i <= 3; ++i)
+    pool.request([&order, i](NodeId) { order.push_back(i); }, -1, 2);
+  for (int i = 0; i < 4; ++i) {
+    sim.run();
+    if (pool.busy(0) > 0) pool.release(0);
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ExecutorPoolPriority, PinnedHighPriorityWaitsButUnpinnedFlows) {
+  Simulator sim;
+  ExecutorPool pool(sim, {1, 1});
+  std::vector<std::string> order;
+  pool.request([&](NodeId) { order.push_back("hog"); }, 1);
+  pool.request([&](NodeId) { order.push_back("pinned"); }, 1, /*priority=*/0);
+  pool.request([&](NodeId) { order.push_back("free"); }, -1, /*priority=*/9);
+  sim.run();
+  // The pinned waiter cannot take node 0; the low-priority unpinned one can.
+  EXPECT_EQ(order, (std::vector<std::string>{"hog", "free"}));
+  pool.release(1);
+  sim.run();
+  EXPECT_EQ(order.back(), "pinned");
+}
+
+TEST(GeoAndGroups, WanPortCarriesThePenaltyToo) {
+  Simulator sim;
+  // Fat NICs, thin WAN; two distinct groups crossing the same WAN pipe.
+  NetworkFabric net(sim, {1000.0, 1000.0, 1000.0, 1000.0}, 1e6,
+                    /*group_penalty=*/1.0, {0, 0, 1, 1}, /*wan_bw=*/40.0);
+  double a = -1;
+  net.start_flow({0, 2, 40.0, 1, [&] { a = sim.now(); }});
+  net.start_flow({1, 3, 40.0, 2, nullptr});
+  sim.run_until(10.0);
+  // WAN 40 / (1 + ln 2) ≈ 23.6 total, ≈ 11.8 B/s each -> 40 B in ≈ 3.39 s.
+  EXPECT_NEAR(a, 2.0 * (1.0 + std::log(2.0)), 0.05);
+}
+
+}  // namespace
+}  // namespace ds::sim

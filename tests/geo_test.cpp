@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "engine/job_run.h"
+#include "sched/strategy.h"
+#include "sim/cluster.h"
+#include "util/check.h"
+#include "util/units.h"
+#include "workloads/workloads.h"
+
+namespace ds::sim {
+namespace {
+
+using namespace ds;  // literals
+
+TEST(GeoFabric, CrossSiteFlowsShareTheWanPipe) {
+  Simulator sim;
+  // Two sites of one node each, fat NICs, thin WAN: the WAN binds.
+  NetworkFabric net(sim, {100.0, 100.0, 100.0, 100.0}, 1000.0,
+                    /*group_penalty=*/0.0, /*site_of=*/{0, 1, 0, 1},
+                    /*wan_bw=*/20.0);
+  double a = -1, b = -1;
+  net.start_flow({.src = 0, .dst = 1, .bytes = 100.0,
+                  .on_complete = [&] { a = sim.now(); }});
+  net.start_flow({.src = 2, .dst = 3, .bytes = 100.0,
+                  .on_complete = [&] { b = sim.now(); }});
+  sim.run();
+  // Two flows share the 20 B/s site-0 -> site-1 WAN port: 10 B/s each.
+  EXPECT_NEAR(a, 10.0, 1e-6);
+  EXPECT_NEAR(b, 10.0, 1e-6);
+}
+
+TEST(GeoFabric, IntraSiteFlowsBypassTheWan) {
+  Simulator sim;
+  NetworkFabric net(sim, {100.0, 100.0, 100.0, 100.0}, 1000.0, 0.0,
+                    {0, 1, 0, 1}, 20.0);
+  double local = -1;
+  net.start_flow({.src = 0, .dst = 2, .bytes = 1000.0,
+                  .on_complete = [&] { local = sim.now(); }});
+  sim.run();
+  EXPECT_NEAR(local, 10.0, 1e-6);  // full NIC speed, no WAN involvement
+}
+
+TEST(GeoFabric, WanDirectionsAreIndependent) {
+  Simulator sim;
+  NetworkFabric net(sim, {100.0, 100.0}, 1000.0, 0.0, {0, 1}, 20.0);
+  double fwd = -1, rev = -1;
+  net.start_flow({.src = 0, .dst = 1, .bytes = 200.0,
+                  .on_complete = [&] { fwd = sim.now(); }});
+  net.start_flow({.src = 1, .dst = 0, .bytes = 200.0,
+                  .on_complete = [&] { rev = sim.now(); }});
+  sim.run();
+  // Opposite directions use distinct WAN ports: both run at 20 B/s.
+  EXPECT_NEAR(fwd, 10.0, 1e-6);
+  EXPECT_NEAR(rev, 10.0, 1e-6);
+}
+
+TEST(GeoFabric, RejectsMultiSiteWithoutWanCapacity) {
+  Simulator sim;
+  EXPECT_THROW(NetworkFabric(sim, {100.0, 100.0}, 1000.0, 0.0, {0, 1}, 0.0),
+               CheckError);
+  EXPECT_THROW(NetworkFabric(sim, {100.0, 100.0}, 1000.0, 0.0, {0}, 10.0),
+               CheckError);
+}
+
+TEST(GeoCluster, SpecAndSiteLayout) {
+  Simulator sim;
+  const auto spec = ClusterSpec::geo_two_sites();
+  EXPECT_EQ(spec.num_sites, 2);
+  EXPECT_GT(spec.wan_bw, 0);
+  Cluster c(sim, spec, 1);
+  int site0 = 0, site1 = 0;
+  for (int n = 0; n < c.total_nodes(); ++n)
+    (c.site_of(n) == 0 ? site0 : site1)++;
+  EXPECT_NEAR(site0, site1, 1);  // round-robin split
+}
+
+TEST(GeoCluster, WanSlowsJobsAndDelayStageStillHelps) {
+  const auto dag = ds::workloads::cosine_similarity();
+  auto run = [&](const ClusterSpec& spec, const char* strategy) {
+    Simulator sim;
+    Cluster cluster(sim, spec, 42);
+    auto strat = sched::make_strategy(strategy);
+    engine::RunOptions opt;
+    opt.plan = strat->plan(dag, spec);
+    opt.seed = 42;
+    engine::JobRun jr(cluster, dag, opt);
+    jr.start();
+    sim.run();
+    return jr.result().jct;
+  };
+  const double lan_stock = run(ClusterSpec::paper_prototype(), "Spark");
+  const double wan_stock = run(ClusterSpec::geo_two_sites(), "Spark");
+  EXPECT_GT(wan_stock, lan_stock);  // the thin WAN pipe hurts
+  const double wan_ds = run(ClusterSpec::geo_two_sites(), "DelayStage");
+  EXPECT_LT(wan_ds, wan_stock * 1.02);  // DelayStage never worse
+}
+
+}  // namespace
+}  // namespace ds::sim

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+#include "core/perf_model.h"
+#include "core/profile.h"
+#include "util/check.h"
+#include "sim/cluster.h"
+#include "util/units.h"
+
+namespace ds::core {
+namespace {
+
+using namespace ds;  // literals
+
+dag::Stage mk(const std::string& name, int tasks, Bytes in, BytesPerSec rate,
+              Bytes out, double skew = 0.0) {
+  dag::Stage s;
+  s.name = name;
+  s.num_tasks = tasks;
+  s.input_bytes = in;
+  s.process_rate = rate;
+  s.output_bytes = out;
+  s.task_skew = skew;
+  return s;
+}
+
+// Round-number cluster for hand-checkable arithmetic.
+sim::ClusterSpec toy_spec() {
+  sim::ClusterSpec s;
+  s.num_workers = 10;
+  s.executors_per_worker = 2;
+  s.nic_bw_min = 10.0e6;  // exactly 10 MB/s per NIC (field is bytes/s)
+  s.nic_bw_max = 10.0e6;
+  s.disk_bw = 50_MBps;
+  s.loopback_bw = 1000_MBps;
+  s.num_storage_nodes = 2;
+  s.congestion_penalty = 0.0;
+  return s;
+}
+
+TEST(PerfModel, WorkTermsMatchEq1) {
+  dag::JobDag j("m");
+  j.add_stage(mk("src", 20, 1_GB, 5_MBps, 200_MB));
+  const JobProfile p = JobProfile::from(j, toy_spec());
+  const PerfModel m(p);
+  EXPECT_DOUBLE_EQ(m.read_work(0), 1e9);
+  EXPECT_DOUBLE_EQ(m.compute_work(0), 1e9 / 5e6);  // Σs / R_k (executor-secs)
+  EXPECT_DOUBLE_EQ(m.write_work(0), 2e8);
+  EXPECT_DOUBLE_EQ(m.write_rate_alone(), 10 * 50e6);
+}
+
+TEST(PerfModel, SourceReadGatedByStorageTier) {
+  dag::JobDag j("m");
+  j.add_stage(mk("src", 20, 1_GB, 5_MBps, 200_MB));
+  j.add_stage(mk("red", 20, 200_MB, 5_MBps, 0));
+  j.add_edge(0, 1);
+  const JobProfile p = JobProfile::from(j, toy_spec());
+  const PerfModel m(p);
+  // Source: min(10 workers, 2 storage nodes) × 10 MB/s.
+  EXPECT_DOUBLE_EQ(m.read_rate_alone(0), 2 * 10e6);
+  // Shuffle: workers' aggregate.
+  EXPECT_DOUBLE_EQ(m.read_rate_alone(1), 10 * 10e6);
+}
+
+TEST(PerfModel, UsableExecutorsCappedByTasksAndCluster) {
+  dag::JobDag j("m");
+  j.add_stage(mk("small", 4, 1_GB, 5_MBps, 0));
+  j.add_stage(mk("big", 100, 1_GB, 5_MBps, 0));
+  const JobProfile p = JobProfile::from(j, toy_spec());
+  const PerfModel m(p);
+  EXPECT_DOUBLE_EQ(m.usable_executors(0), 4.0);
+  EXPECT_DOUBLE_EQ(m.usable_executors(1), 20.0);  // cluster has 20 slots
+}
+
+TEST(PerfModel, StragglerFactorGrowsWithSkewAndTasks) {
+  dag::JobDag j("m");
+  j.add_stage(mk("flat", 40, 1_GB, 5_MBps, 0, 0.0));
+  j.add_stage(mk("skew", 40, 1_GB, 5_MBps, 0, 0.3));
+  j.add_stage(mk("skew-few", 4, 1_GB, 5_MBps, 0, 0.3));
+  const JobProfile p = JobProfile::from(j, toy_spec());
+  const PerfModel m(p);
+  EXPECT_DOUBLE_EQ(m.straggler_factor(0), 1.0);
+  EXPECT_GT(m.straggler_factor(1), 1.3);
+  EXPECT_GT(m.straggler_factor(1), m.straggler_factor(2));
+  // The tail is the largest task's compute time.
+  EXPECT_NEAR(m.straggler_tail(1),
+              m.compute_work(1) / 40 * m.straggler_factor(1), 1e-9);
+}
+
+TEST(PerfModel, SoloTimeSumsPhases) {
+  dag::JobDag j("m");
+  j.add_stage(mk("src", 20, 1_GB, 5_MBps, 200_MB));
+  const JobProfile p = JobProfile::from(j, toy_spec());
+  const PerfModel m(p);
+  const PhaseTimes t = m.stage_phases(0, Shares{});
+  EXPECT_DOUBLE_EQ(t.read, 1e9 / (2 * 10e6));
+  EXPECT_DOUBLE_EQ(t.compute, (1e9 / 5e6) / 20.0);
+  EXPECT_DOUBLE_EQ(t.write, 2e8 / (10 * 50e6));
+  EXPECT_DOUBLE_EQ(m.solo_time(0), t.total());
+}
+
+TEST(PerfModel, SharesSlowEveryPhase) {
+  dag::JobDag j("m");
+  j.add_stage(mk("src", 20, 1_GB, 5_MBps, 200_MB));
+  const JobProfile p = JobProfile::from(j, toy_spec());
+  const PerfModel m(p);
+  Shares two;
+  two.network = 2;
+  two.cpu = 2;
+  two.disk = 2;
+  const PhaseTimes solo = m.stage_phases(0, Shares{});
+  const PhaseTimes shared = m.stage_phases(0, two);
+  EXPECT_DOUBLE_EQ(shared.read, 2 * solo.read);
+  EXPECT_DOUBLE_EQ(shared.compute, 2 * solo.compute);
+  EXPECT_DOUBLE_EQ(shared.write, 2 * solo.write);
+}
+
+TEST(Evaluator, SingleStageMatchesSoloPhases) {
+  dag::JobDag j("m");
+  j.add_stage(mk("src", 20, 1_GB, 5_MBps, 200_MB));
+  const JobProfile p = JobProfile::from(j, toy_spec());
+  const ScheduleEvaluator ev(p);
+  const Evaluation e = ev.evaluate({});
+  const PerfModel m(p);
+  // Slot quantisation rounds up and the read tail crawls on one NIC;
+  // allow several slots of slack.
+  EXPECT_NEAR(e.jct, m.solo_time(0), 6.0);
+  EXPECT_GE(e.stages[0].read_done, 0);
+  EXPECT_GE(e.stages[0].finish, e.stages[0].read_done);
+}
+
+TEST(Evaluator, ChainChildStartsAtParentFinish) {
+  dag::JobDag j("m");
+  j.add_stage(mk("src", 20, 1_GB, 5_MBps, 200_MB));
+  j.add_stage(mk("red", 20, 200_MB, 5_MBps, 0));
+  j.add_edge(0, 1);
+  const JobProfile p = JobProfile::from(j, toy_spec());
+  const ScheduleEvaluator ev(p);
+  const Evaluation e = ev.evaluate({});
+  EXPECT_DOUBLE_EQ(e.stages[1].ready, e.stages[0].finish);
+  EXPECT_GE(e.stages[1].finish, e.stages[1].submitted);
+}
+
+TEST(Evaluator, DelayQuantisedToSlotGrid) {
+  dag::JobDag j("m");
+  j.add_stage(mk("src", 20, 1_GB, 5_MBps, 200_MB));
+  const JobProfile p = JobProfile::from(j, toy_spec());
+  const ScheduleEvaluator ev(p, /*slot=*/1.0);
+  const Evaluation e = ev.evaluate({17.0});
+  EXPECT_NEAR(e.stages[0].submitted, 17.0, 1.0);
+  EXPECT_THROW(ev.evaluate({-3.0}), ds::CheckError);
+}
+
+TEST(Evaluator, TwoIdenticalParallelStagesSlowEachOther) {
+  dag::JobDag j("m");
+  j.add_stage(mk("a", 10, 1_GB, 5_MBps, 0));
+  j.add_stage(mk("b", 10, 1_GB, 5_MBps, 0));
+  const JobProfile p = JobProfile::from(j, toy_spec());
+  const ScheduleEvaluator ev(p);
+
+  dag::JobDag solo("s");
+  solo.add_stage(mk("a", 10, 1_GB, 5_MBps, 0));
+  const JobProfile ps = JobProfile::from(solo, toy_spec());
+  const ScheduleEvaluator evs(ps);
+
+  EXPECT_GT(ev.evaluate({}).stages[0].finish, evs.evaluate({}).stages[0].finish);
+}
+
+TEST(Evaluator, ParallelEndIsMaxOverParallelSet) {
+  dag::JobDag j("m");
+  j.add_stage(mk("a", 10, 1_GB, 5_MBps, 100_MB));
+  j.add_stage(mk("b", 10, 500_MB, 5_MBps, 100_MB));
+  j.add_stage(mk("tail", 10, 200_MB, 5_MBps, 0));
+  j.add_edge(0, 2);
+  j.add_edge(1, 2);
+  const JobProfile p = JobProfile::from(j, toy_spec());
+  const Evaluation e = ScheduleEvaluator(p).evaluate({});
+  EXPECT_DOUBLE_EQ(e.parallel_end,
+                   std::max(e.stages[0].finish, e.stages[1].finish));
+  EXPECT_GT(e.jct, e.parallel_end);  // the sequential tail runs after
+}
+
+TEST(Evaluator, ZeroWorkStagesFinishImmediately) {
+  dag::JobDag j("m");
+  j.add_stage(mk("noop", 1, 0, 0, 0));
+  j.add_stage(mk("noop2", 1, 0, 0, 0));
+  j.add_edge(0, 1);
+  const JobProfile p = JobProfile::from(j, toy_spec());
+  const Evaluation e = ScheduleEvaluator(p).evaluate({});
+  EXPECT_DOUBLE_EQ(e.jct, 0.0);
+}
+
+}  // namespace
+}  // namespace ds::core

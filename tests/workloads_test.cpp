@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dag/paths.h"
+#include "workloads/workloads.h"
+
+namespace ds::workloads {
+namespace {
+
+TEST(Workloads, StageCountsMatchThePaper) {
+  EXPECT_EQ(als().num_stages(), 6);                   // Fig. 1
+  EXPECT_EQ(connected_components().num_stages(), 5);  // Table 2 / §5.1
+  EXPECT_EQ(cosine_similarity().num_stages(), 5);
+  EXPECT_EQ(lda().num_stages(), 5);
+  EXPECT_EQ(triangle_count().num_stages(), 11);
+}
+
+TEST(Workloads, AlsParallelStructureMatchesFig1) {
+  const auto j = als();
+  // Stage 1 || Stage 2; Stage 3 || {1, 2, 4}.
+  EXPECT_TRUE(j.can_run_in_parallel(0, 1));
+  EXPECT_TRUE(j.can_run_in_parallel(2, 0));
+  EXPECT_TRUE(j.can_run_in_parallel(2, 1));
+  EXPECT_TRUE(j.can_run_in_parallel(2, 3));
+  EXPECT_EQ(j.parallel_stage_set(), (std::vector<dag::StageId>{0, 1, 2, 3}));
+}
+
+TEST(Workloads, LdaPathsMatchFig11) {
+  const auto j = lda();
+  // "The three execution paths in LDA are {Stage 1}, {Stage 2, Stage 3},
+  // and {Stage 4}, and the execution of the last Stage 5 is blocked."
+  const auto paths = dag::execution_paths(j);
+  std::set<std::vector<dag::StageId>> got;
+  for (const auto& p : paths) got.insert(p.stages);
+  EXPECT_EQ(got, (std::set<std::vector<dag::StageId>>{{0}, {1, 2}, {3}}));
+  EXPECT_EQ(j.sequential_stages(), (std::vector<dag::StageId>{4}));
+}
+
+TEST(Workloads, ConnectedComponentsHasDominantSequentialTail) {
+  const auto j = connected_components();
+  const auto seq = j.sequential_stages();
+  EXPECT_EQ(seq, (std::vector<dag::StageId>{3, 4}));
+}
+
+TEST(Workloads, TriangleCountHasWideParallelRegion) {
+  const auto j = triangle_count();
+  EXPECT_EQ(j.parallel_stage_set().size(), 9u);
+  EXPECT_EQ(j.sequential_stages(), (std::vector<dag::StageId>{9, 10}));
+  EXPECT_EQ(j.sources().size(), 4u);
+}
+
+TEST(Workloads, LdaIsNearlyHomogeneous) {
+  const auto j = lda();
+  for (dag::StageId s = 0; s < j.num_stages(); ++s)
+    EXPECT_LE(j.stage(s).task_skew, 0.05);
+  // Graph workloads are visibly skewed.
+  EXPECT_GT(triangle_count().stage(0).task_skew, 0.1);
+}
+
+TEST(Workloads, ScaleMultipliesVolumesOnly) {
+  const auto base = cosine_similarity(1.0);
+  const auto big = cosine_similarity(2.0);
+  for (dag::StageId s = 0; s < base.num_stages(); ++s) {
+    EXPECT_DOUBLE_EQ(big.stage(s).input_bytes, 2 * base.stage(s).input_bytes);
+    EXPECT_DOUBLE_EQ(big.stage(s).output_bytes, 2 * base.stage(s).output_bytes);
+    EXPECT_DOUBLE_EQ(big.stage(s).process_rate, base.stage(s).process_rate);
+    EXPECT_EQ(big.stage(s).num_tasks, base.stage(s).num_tasks);
+  }
+}
+
+TEST(Workloads, InputVolumesTrackTable2) {
+  // Table 2: ConnectedComponents 10 GB, CosineSimilarity 30 GB.
+  EXPECT_NEAR(to_GB(connected_components().total_input_bytes()), 15.6, 6.0);
+  EXPECT_NEAR(to_GB(cosine_similarity().total_input_bytes()), 33.0, 8.0);
+}
+
+TEST(Workloads, SuiteHasPaperOrder) {
+  const auto suite = benchmark_suite();
+  ASSERT_EQ(suite.size(), 4u);
+  EXPECT_EQ(suite[0].name, "ConnectedComponents");
+  EXPECT_EQ(suite[1].name, "LDA");
+  EXPECT_EQ(suite[2].name, "CosineSimilarity");
+  EXPECT_EQ(suite[3].name, "TriangleCount");
+  for (const auto& wl : suite) EXPECT_EQ(wl.dag.name(), wl.name);
+}
+
+TEST(Workloads, AllDagsAreAcyclicAndConnectedEnough) {
+  for (const auto& wl : benchmark_suite()) {
+    EXPECT_NO_THROW(wl.dag.topo_order()) << wl.name;
+    EXPECT_EQ(wl.dag.sinks().size(), 1u) << wl.name;
+  }
+  EXPECT_NO_THROW(als().topo_order());
+}
+
+}  // namespace
+}  // namespace ds::workloads
