@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multijob.dir/bench_ablation_multijob.cpp.o"
+  "CMakeFiles/bench_ablation_multijob.dir/bench_ablation_multijob.cpp.o.d"
+  "bench_ablation_multijob"
+  "bench_ablation_multijob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multijob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

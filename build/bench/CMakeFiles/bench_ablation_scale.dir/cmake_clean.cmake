@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_scale.dir/bench_ablation_scale.cpp.o"
+  "CMakeFiles/bench_ablation_scale.dir/bench_ablation_scale.cpp.o.d"
+  "bench_ablation_scale"
+  "bench_ablation_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_makespan_share.dir/bench_fig03_makespan_share.cpp.o"
+  "CMakeFiles/bench_fig03_makespan_share.dir/bench_fig03_makespan_share.cpp.o.d"
+  "bench_fig03_makespan_share"
+  "bench_fig03_makespan_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_makespan_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_jct.dir/bench_fig10_jct.cpp.o"
+  "CMakeFiles/bench_fig10_jct.dir/bench_fig10_jct.cpp.o.d"
+  "bench_fig10_jct"
+  "bench_fig10_jct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_jct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

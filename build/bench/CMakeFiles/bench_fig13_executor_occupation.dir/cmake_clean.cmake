@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_executor_occupation.dir/bench_fig13_executor_occupation.cpp.o"
+  "CMakeFiles/bench_fig13_executor_occupation.dir/bench_fig13_executor_occupation.cpp.o.d"
+  "bench_fig13_executor_occupation"
+  "bench_fig13_executor_occupation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_executor_occupation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_stage_breakdown_appendix.dir/bench_fig16_stage_breakdown_appendix.cpp.o"
+  "CMakeFiles/bench_fig16_stage_breakdown_appendix.dir/bench_fig16_stage_breakdown_appendix.cpp.o.d"
+  "bench_fig16_stage_breakdown_appendix"
+  "bench_fig16_stage_breakdown_appendix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_stage_breakdown_appendix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_util_timeseries_appendix.dir/bench_fig17_util_timeseries_appendix.cpp.o"
+  "CMakeFiles/bench_fig17_util_timeseries_appendix.dir/bench_fig17_util_timeseries_appendix.cpp.o.d"
+  "bench_fig17_util_timeseries_appendix"
+  "bench_fig17_util_timeseries_appendix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_util_timeseries_appendix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

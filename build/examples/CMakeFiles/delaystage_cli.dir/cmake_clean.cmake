@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delaystage_cli.dir/delaystage_cli.cpp.o"
+  "CMakeFiles/delaystage_cli.dir/delaystage_cli.cpp.o.d"
+  "delaystage_cli"
+  "delaystage_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delaystage_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

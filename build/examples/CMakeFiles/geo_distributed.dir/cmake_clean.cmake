@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_distributed.dir/geo_distributed.cpp.o"
+  "CMakeFiles/geo_distributed.dir/geo_distributed.cpp.o.d"
+  "geo_distributed"
+  "geo_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

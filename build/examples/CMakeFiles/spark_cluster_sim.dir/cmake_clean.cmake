@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spark_cluster_sim.dir/spark_cluster_sim.cpp.o"
+  "CMakeFiles/spark_cluster_sim.dir/spark_cluster_sim.cpp.o.d"
+  "spark_cluster_sim"
+  "spark_cluster_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spark_cluster_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

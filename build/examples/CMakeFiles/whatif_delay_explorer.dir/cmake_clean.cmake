@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_delay_explorer.dir/whatif_delay_explorer.cpp.o"
+  "CMakeFiles/whatif_delay_explorer.dir/whatif_delay_explorer.cpp.o.d"
+  "whatif_delay_explorer"
+  "whatif_delay_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_delay_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

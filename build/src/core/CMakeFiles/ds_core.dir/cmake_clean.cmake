@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_core.dir/delay_calculator.cpp.o"
+  "CMakeFiles/ds_core.dir/delay_calculator.cpp.o.d"
+  "CMakeFiles/ds_core.dir/evaluator.cpp.o"
+  "CMakeFiles/ds_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/ds_core.dir/perf_model.cpp.o"
+  "CMakeFiles/ds_core.dir/perf_model.cpp.o.d"
+  "CMakeFiles/ds_core.dir/stage_delayer.cpp.o"
+  "CMakeFiles/ds_core.dir/stage_delayer.cpp.o.d"
+  "libds_core.a"
+  "libds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

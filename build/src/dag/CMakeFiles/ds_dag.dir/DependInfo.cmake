@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dag/job.cpp" "src/dag/CMakeFiles/ds_dag.dir/job.cpp.o" "gcc" "src/dag/CMakeFiles/ds_dag.dir/job.cpp.o.d"
+  "/root/repo/src/dag/paths.cpp" "src/dag/CMakeFiles/ds_dag.dir/paths.cpp.o" "gcc" "src/dag/CMakeFiles/ds_dag.dir/paths.cpp.o.d"
+  "/root/repo/src/dag/serialize.cpp" "src/dag/CMakeFiles/ds_dag.dir/serialize.cpp.o" "gcc" "src/dag/CMakeFiles/ds_dag.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

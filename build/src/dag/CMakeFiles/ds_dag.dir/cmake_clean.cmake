@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_dag.dir/job.cpp.o"
+  "CMakeFiles/ds_dag.dir/job.cpp.o.d"
+  "CMakeFiles/ds_dag.dir/paths.cpp.o"
+  "CMakeFiles/ds_dag.dir/paths.cpp.o.d"
+  "CMakeFiles/ds_dag.dir/serialize.cpp.o"
+  "CMakeFiles/ds_dag.dir/serialize.cpp.o.d"
+  "libds_dag.a"
+  "libds_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_engine.dir/job_run.cpp.o"
+  "CMakeFiles/ds_engine.dir/job_run.cpp.o.d"
+  "libds_engine.a"
+  "libds_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_metrics.dir/cdf.cpp.o"
+  "CMakeFiles/ds_metrics.dir/cdf.cpp.o.d"
+  "CMakeFiles/ds_metrics.dir/sampler.cpp.o"
+  "CMakeFiles/ds_metrics.dir/sampler.cpp.o.d"
+  "CMakeFiles/ds_metrics.dir/timeseries.cpp.o"
+  "CMakeFiles/ds_metrics.dir/timeseries.cpp.o.d"
+  "libds_metrics.a"
+  "libds_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_sched.dir/strategy.cpp.o"
+  "CMakeFiles/ds_sched.dir/strategy.cpp.o.d"
+  "libds_sched.a"
+  "libds_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

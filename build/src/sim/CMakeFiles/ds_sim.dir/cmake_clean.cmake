@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_sim.dir/cluster.cpp.o"
+  "CMakeFiles/ds_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/ds_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/ds_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/ds_sim.dir/executor_pool.cpp.o"
+  "CMakeFiles/ds_sim.dir/executor_pool.cpp.o.d"
+  "CMakeFiles/ds_sim.dir/fair_queue.cpp.o"
+  "CMakeFiles/ds_sim.dir/fair_queue.cpp.o.d"
+  "CMakeFiles/ds_sim.dir/network.cpp.o"
+  "CMakeFiles/ds_sim.dir/network.cpp.o.d"
+  "CMakeFiles/ds_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ds_sim.dir/simulator.cpp.o.d"
+  "libds_sim.a"
+  "libds_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_trace.dir/alibaba.cpp.o"
+  "CMakeFiles/ds_trace.dir/alibaba.cpp.o.d"
+  "CMakeFiles/ds_trace.dir/replay.cpp.o"
+  "CMakeFiles/ds_trace.dir/replay.cpp.o.d"
+  "CMakeFiles/ds_trace.dir/stats.cpp.o"
+  "CMakeFiles/ds_trace.dir/stats.cpp.o.d"
+  "CMakeFiles/ds_trace.dir/synthetic.cpp.o"
+  "CMakeFiles/ds_trace.dir/synthetic.cpp.o.d"
+  "CMakeFiles/ds_trace.dir/trace.cpp.o"
+  "CMakeFiles/ds_trace.dir/trace.cpp.o.d"
+  "libds_trace.a"
+  "libds_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_workloads.dir/workloads.cpp.o"
+  "CMakeFiles/ds_workloads.dir/workloads.cpp.o.d"
+  "libds_workloads.a"
+  "libds_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

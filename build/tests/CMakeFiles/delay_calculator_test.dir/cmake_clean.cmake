@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delay_calculator_test.dir/delay_calculator_test.cpp.o"
+  "CMakeFiles/delay_calculator_test.dir/delay_calculator_test.cpp.o.d"
+  "delay_calculator_test"
+  "delay_calculator_test.pdb"
+  "delay_calculator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delay_calculator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

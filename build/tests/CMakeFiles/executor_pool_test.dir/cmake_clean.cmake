@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_pool_test.dir/executor_pool_test.cpp.o"
+  "CMakeFiles/executor_pool_test.dir/executor_pool_test.cpp.o.d"
+  "executor_pool_test"
+  "executor_pool_test.pdb"
+  "executor_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

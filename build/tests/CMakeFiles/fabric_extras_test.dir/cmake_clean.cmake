@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_extras_test.dir/fabric_extras_test.cpp.o"
+  "CMakeFiles/fabric_extras_test.dir/fabric_extras_test.cpp.o.d"
+  "fabric_extras_test"
+  "fabric_extras_test.pdb"
+  "fabric_extras_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

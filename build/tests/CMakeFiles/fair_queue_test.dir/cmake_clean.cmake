@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fair_queue_test.dir/fair_queue_test.cpp.o"
+  "CMakeFiles/fair_queue_test.dir/fair_queue_test.cpp.o.d"
+  "fair_queue_test"
+  "fair_queue_test.pdb"
+  "fair_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fair_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
