@@ -1,0 +1,150 @@
+// Ablation — failure-domain fault injection: stochastic node crashes (with
+// recovery) swept against the scheduling strategy. Reports how much JCT
+// degrades and how much work is wasted (killed attempts, invalidated map
+// output, stage resubmissions) under stock Spark submission vs DelayStage
+// plans. DelayStage keeps less shuffle output materialised early, but also
+// compresses the job into a shorter window — this bench quantifies the net
+// robustness effect. Emits a human table plus machine-readable JSON lines.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "engine/job_run.h"
+#include "sim/faults.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace ds;
+
+struct FaultRun {
+  bool completed = false;  // finished successfully (failed/hung otherwise)
+  double jct = -1;
+  double wasted = 0;
+  int crashes = 0;
+  int fetch_failures = 0;
+  int resubmissions = 0;
+  int tasks_rerun = 0;
+};
+
+FaultRun run_one(const dag::JobDag& dag, const sim::ClusterSpec& spec,
+                 bool stage_delays, double crash_rate, Seconds horizon,
+                 std::uint64_t seed) {
+  sim::Simulator sim;
+  sim::Cluster cluster(sim, spec, seed);
+  engine::RunOptions opt;
+  if (stage_delays) {
+    auto s = sched::make_strategy("DelayStage");
+    opt.plan = s->plan(dag, cluster);
+  }
+  opt.seed = seed;
+
+  sim::FaultPlan plan;
+  plan.crash_rate = crash_rate;
+  plan.crash_horizon = horizon;
+  plan.mean_downtime = 60.0;
+  sim::FaultInjector inj(cluster, plan, seed);
+  if (crash_rate > 0) opt.faults = &inj;
+
+  engine::JobRun run(cluster, dag, opt);
+  if (crash_rate > 0) inj.start();
+  run.start();
+  while (!run.finished() && sim.step()) {
+  }
+
+  FaultRun out;
+  if (!run.finished()) return out;  // stranded (all workers down): failed
+  const engine::JobResult& r = run.result();
+  out.completed = !r.failed;
+  out.jct = r.jct;
+  out.wasted = r.wasted_seconds();
+  out.crashes = r.node_crashes;
+  out.fetch_failures = r.fetch_failures;
+  out.resubmissions = r.resubmissions();
+  out.tasks_rerun = r.tasks_rerun();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ds;
+  std::cout << "=== Ablation: node-crash rate x scheduling strategy ===\n\n";
+  const sim::ClusterSpec spec = sim::ClusterSpec::paper_prototype();
+  const std::vector<std::uint64_t> seeds = {42, 7, 99};
+  const std::vector<double> rates = {0.0, 2e-5, 5e-5, 1e-4, 2e-4};
+
+  TablePrinter t({"workload", "strategy", "crash rate", "runs ok", "mean jct",
+                  "degrade %", "wasted s", "crashes", "resubmits"});
+  t.set_precision(1);
+  std::vector<std::string> json_lines;
+
+  for (const auto& wl : workloads::benchmark_suite()) {
+    for (const bool ds_plan : {false, true}) {
+      const std::string strategy = ds_plan ? "DelayStage" : "Spark";
+      // Healthy baseline per seed; crashes are drawn over 2x the slowest
+      // healthy run so recovery tails stay inside the hazard window.
+      double healthy_mean = 0, horizon = 0;
+      for (const auto seed : seeds) {
+        const FaultRun h = run_one(wl.dag, spec, ds_plan, 0.0, 0.0, seed);
+        healthy_mean += h.jct / static_cast<double>(seeds.size());
+        horizon = std::max(horizon, 2.0 * h.jct);
+      }
+      for (const double rate : rates) {
+        int ok = 0, failed = 0;
+        double jct_sum = 0, wasted_sum = 0;
+        double crash_sum = 0, resub_sum = 0, fetch_sum = 0, rerun_sum = 0;
+        for (const auto seed : seeds) {
+          const FaultRun r =
+              run_one(wl.dag, spec, ds_plan, rate, horizon, seed);
+          if (r.completed) {
+            ++ok;
+            jct_sum += r.jct;
+            wasted_sum += r.wasted;
+          } else {
+            ++failed;
+          }
+          crash_sum += r.crashes;
+          resub_sum += r.resubmissions;
+          fetch_sum += r.fetch_failures;
+          rerun_sum += r.tasks_rerun;
+        }
+        const double mean_jct = ok > 0 ? jct_sum / ok : -1;
+        const double mean_wasted = ok > 0 ? wasted_sum / ok : -1;
+        const double degrade =
+            ok > 0 ? 100.0 * (mean_jct - healthy_mean) / healthy_mean : -1;
+        const double n = static_cast<double>(seeds.size());
+        char rate_str[32];
+        std::snprintf(rate_str, sizeof(rate_str), "%g", rate);
+        t.add_row({wl.name, strategy, std::string(rate_str),
+                   static_cast<double>(ok), mean_jct, degrade, mean_wasted,
+                   crash_sum / n, resub_sum / n});
+        json_lines.push_back(
+            "{\"workload\":\"" + wl.name + "\",\"strategy\":\"" + strategy +
+            "\",\"crash_rate\":" + std::to_string(rate) +
+            ",\"runs\":" + std::to_string(seeds.size()) +
+            ",\"completed\":" + std::to_string(ok) +
+            ",\"failed\":" + std::to_string(failed) +
+            ",\"mean_jct_s\":" + std::to_string(mean_jct) +
+            ",\"jct_degradation_pct\":" + std::to_string(degrade) +
+            ",\"mean_wasted_s\":" + std::to_string(mean_wasted) +
+            ",\"mean_crashes\":" + std::to_string(crash_sum / n) +
+            ",\"mean_fetch_failures\":" + std::to_string(fetch_sum / n) +
+            ",\"mean_resubmissions\":" + std::to_string(resub_sum / n) +
+            ",\"mean_tasks_rerun\":" + std::to_string(rerun_sum / n) + "}");
+      }
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\n(crash rate is per-worker failures/s over a horizon of 2x\n"
+               "the healthy JCT; crashed nodes rejoin after an exponential\n"
+               "downtime with mean 60 s and lose their shuffle output;\n"
+               "'runs ok' counts seeds that completed without a terminal\n"
+               "job failure)\n\n";
+  std::cout << "--- JSON ---\n";
+  for (const auto& line : json_lines) std::cout << line << "\n";
+  return 0;
+}

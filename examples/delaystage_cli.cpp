@@ -3,7 +3,17 @@
 //   ./delaystage_cli plan <job.spec> [--cluster prototype|three_node]
 //   ./delaystage_cli run  <job.spec> [--strategy Spark|AggShuffle|DelayStage|
 //                                      CriticalPathFirst] [--seed N]
+//                                    [--fail-rate P] [--max-attempts N]
+//                                    [--crash NODE@T | --crash NODE@T@DOWN]
+//                                    [--crash-rate R --horizon S]
+//                                    [--mean-downtime S]
 //   ./delaystage_cli demo                 # print a sample spec
+//
+// Fault flags: --fail-rate aborts each task attempt with probability P;
+// --crash schedules a worker crash at time T (rejoining after DOWN seconds,
+// or staying down); --crash-rate draws Poisson crashes per worker over
+// [0, --horizon) with exponential downtimes of mean --mean-downtime
+// (negative = crashed workers never return).
 //
 // Spec format (see dag/serialize.h):
 //   job,my-etl
@@ -12,6 +22,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/delay_calculator.h"
 #include "core/profile.h"
@@ -20,6 +31,7 @@
 #include "engine/job_run.h"
 #include "sched/strategy.h"
 #include "sim/cluster.h"
+#include "sim/faults.h"
 #include "util/table.h"
 
 namespace {
@@ -48,6 +60,31 @@ std::string flag(int argc, char** argv, const std::string& name,
   return fallback;
 }
 
+// Every occurrence of a repeatable flag, in order.
+std::vector<std::string> flags(int argc, char** argv, const std::string& name) {
+  std::vector<std::string> out;
+  for (int i = 0; i + 1 < argc; ++i)
+    if (name == argv[i]) out.push_back(argv[i + 1]);
+  return out;
+}
+
+// "NODE@T" or "NODE@T@DOWNTIME" → a scheduled crash.
+ds::sim::NodeCrash parse_crash(const std::string& s) {
+  ds::sim::NodeCrash c;
+  const auto first = s.find('@');
+  if (first == std::string::npos)
+    throw std::runtime_error("--crash wants NODE@TIME[@DOWNTIME]: " + s);
+  c.node = std::atoi(s.substr(0, first).c_str());
+  const auto second = s.find('@', first + 1);
+  if (second == std::string::npos) {
+    c.at = std::atof(s.substr(first + 1).c_str());
+  } else {
+    c.at = std::atof(s.substr(first + 1, second - first - 1).c_str());
+    c.downtime = std::atof(s.substr(second + 1).c_str());
+  }
+  return c;
+}
+
 int cmd_plan(const ds::dag::JobDag& job, const ds::sim::ClusterSpec& spec) {
   using namespace ds;
   const core::JobProfile profile = core::JobProfile::from(job, spec);
@@ -66,28 +103,66 @@ int cmd_plan(const ds::dag::JobDag& job, const ds::sim::ClusterSpec& spec) {
 }
 
 int cmd_run(const ds::dag::JobDag& job, const ds::sim::ClusterSpec& spec,
-            const std::string& strategy_name, std::uint64_t seed) {
+            const std::string& strategy_name, std::uint64_t seed,
+            const ds::engine::RunOptions& base_opt,
+            const ds::sim::FaultPlan& faults) {
   using namespace ds;
   sim::Simulator sim;
   sim::Cluster cluster(sim, spec, seed);
   auto strategy = sched::make_strategy(strategy_name);
-  engine::RunOptions opt;
+  engine::RunOptions opt = base_opt;
   opt.plan = strategy->plan(job, cluster);
   opt.seed = seed;
+  sim::FaultInjector injector(cluster, faults, seed);
+  if (!faults.empty()) opt.faults = &injector;
   engine::JobRun run(cluster, job, opt);
+  if (!faults.empty()) injector.start();
   run.start();
-  sim.run();
+  while (!run.finished() && sim.step()) {
+  }
 
+  if (!run.finished()) {
+    std::cout << strategy_name
+              << ": job stranded (every worker crashed for good)\n";
+    return 1;
+  }
   const auto& r = run.result();
-  TablePrinter t({"stage", "delay", "submitted", "read done", "finish"});
+  const bool any_faults = !faults.empty() || opt.task_failure_rate > 0;
+  std::vector<std::string> cols = {"stage", "delay", "submitted", "read done",
+                                   "finish"};
+  if (any_faults) {
+    cols.push_back("resubmits");
+    cols.push_back("rerun");
+    cols.push_back("wasted s");
+  }
+  TablePrinter t(cols);
   t.set_precision(1);
   for (dag::StageId s = 0; s < job.num_stages(); ++s) {
     const auto& sr = r.stages[static_cast<std::size_t>(s)];
-    t.add_row({job.stage(s).name, opt.plan.delay_for(s), sr.submitted,
-               sr.last_read_done, sr.finish});
+    std::vector<TablePrinter::Cell> row = {job.stage(s).name,
+                                           opt.plan.delay_for(s), sr.submitted,
+                                           sr.last_read_done, sr.finish};
+    if (any_faults) {
+      row.push_back(static_cast<std::int64_t>(sr.resubmissions));
+      row.push_back(static_cast<std::int64_t>(sr.tasks_rerun));
+      row.push_back(sr.wasted_seconds);
+    }
+    t.add_row(std::move(row));
   }
   t.print(std::cout);
+  if (r.failed) {
+    std::cout << strategy_name << " job FAILED at " << fmt(r.failed_at, 1)
+              << " s: " << r.failure_reason << '\n';
+    return 1;
+  }
   std::cout << strategy_name << " JCT: " << fmt(r.jct, 1) << " s\n";
+  if (any_faults) {
+    std::cout << "faults: " << r.node_crashes << " node crash(es), "
+              << r.fetch_failures << " fetch failure(s), " << r.resubmissions()
+              << " stage resubmission(s), " << r.tasks_rerun()
+              << " task(s) rerun, " << fmt(r.wasted_seconds(), 1)
+              << " s wasted\n";
+  }
   return 0;
 }
 
@@ -113,7 +188,21 @@ int main(int argc, char** argv) {
       const std::string strategy = flag(argc, argv, "--strategy", "DelayStage");
       const auto seed = static_cast<std::uint64_t>(
           std::strtoull(flag(argc, argv, "--seed", "42").c_str(), nullptr, 10));
-      return cmd_run(job, spec, strategy, seed);
+      ds::engine::RunOptions opt;
+      opt.task_failure_rate =
+          std::atof(flag(argc, argv, "--fail-rate", "0").c_str());
+      opt.max_attempts =
+          std::atoi(flag(argc, argv, "--max-attempts", "4").c_str());
+      ds::sim::FaultPlan faults;
+      for (const auto& c : flags(argc, argv, "--crash"))
+        faults.crashes.push_back(parse_crash(c));
+      faults.crash_rate =
+          std::atof(flag(argc, argv, "--crash-rate", "0").c_str());
+      faults.crash_horizon =
+          std::atof(flag(argc, argv, "--horizon", "0").c_str());
+      faults.mean_downtime =
+          std::atof(flag(argc, argv, "--mean-downtime", "-1").c_str());
+      return cmd_run(job, spec, strategy, seed, opt, faults);
     }
     std::cerr << "unknown command '" << cmd << "'\n";
     return 2;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <utility>
 
 #include "metrics/stats.h"
 #include "util/check.h"
@@ -20,14 +22,20 @@ JobRun::JobRun(sim::Cluster& cluster, const dag::JobDag& dag, RunOptions opt)
   DS_CHECK_MSG(opt_.task_failure_rate >= 0 && opt_.task_failure_rate < 1.0,
                "task_failure_rate must be in [0, 1)");
   DS_CHECK_MSG(opt_.max_attempts >= 1, "max_attempts must be >= 1");
+  DS_CHECK_MSG(opt_.max_stage_resubmissions >= 0,
+               "max_stage_resubmissions must be >= 0");
   DS_CHECK_MSG(!(opt_.plan.pipelined_shuffle && opt_.task_failure_rate > 0),
                "fault injection is incompatible with pipelined shuffle");
+  DS_CHECK_MSG(!(opt_.plan.pipelined_shuffle && opt_.faults != nullptr),
+               "node fault injection is incompatible with pipelined shuffle");
   DS_CHECK_MSG(!(opt_.plan.pipelined_shuffle && opt_.speculation),
                "speculation is incompatible with pipelined shuffle");
-  DS_CHECK_MSG(!(opt_.speculation && opt_.task_failure_rate > 0),
-               "speculation is incompatible with fault injection");
   DS_CHECK_MSG(opt_.speculation_threshold > 1.0,
                "speculation threshold must exceed 1");
+  if (opt_.faults != nullptr) {
+    DS_CHECK_MSG(&opt_.faults->cluster() == &cluster_,
+                 "fault injector drives a different cluster");
+  }
   const auto n = static_cast<std::size_t>(dag_.num_stages());
   DS_CHECK_MSG(n > 0, "empty job");
   st_.resize(n);
@@ -48,6 +56,11 @@ JobRun::JobRun(sim::Cluster& cluster, const dag::JobDag& dag, RunOptions opt)
     state.launched.assign(nt, false);
     state.task_done.assign(nt, false);
     state.spec_requested.assign(nt, false);
+    state.needs_requeue.assign(nt, false);
+    state.lost.assign(nt, false);
+    state.enqueue_epoch.assign(nt, 0);
+    state.aborts.assign(nt, 0);
+    state.success_span.assign(nt, -1.0);
     state.attempts.assign(nt, {});
 
     // Per-task skew multipliers: lognormal(sigma), renormalised to mean
@@ -86,10 +99,15 @@ JobRun::JobRun(sim::Cluster& cluster, const dag::JobDag& dag, RunOptions opt)
     }
   }
   stages_remaining_ = dag_.num_stages();
+  if (opt_.faults != nullptr) {
+    fault_sub_ = opt_.faults->subscribe(
+        [this](sim::NodeId w) { on_node_crashed(w); });
+  }
 }
 
 JobRun::~JobRun() {
   if (occupancy_event_ != sim::kInvalidEvent) cluster_.sim().cancel(occupancy_event_);
+  if (opt_.faults != nullptr) opt_.faults->unsubscribe(fault_sub_);
 }
 
 void JobRun::start() {
@@ -101,7 +119,7 @@ void JobRun::start() {
 }
 
 const JobResult& JobRun::result() const {
-  DS_CHECK_MSG(result_.complete(), "job has not finished");
+  DS_CHECK_MSG(result_.finished(), "job has not finished");
   return result_;
 }
 
@@ -121,6 +139,7 @@ std::uint64_t JobRun::push_key(int task, sim::NodeId src) {
 }
 
 void JobRun::on_ready(dag::StageId s) {
+  if (failed_) return;
   rec(s).ready = cluster_.sim().now();
   const Seconds delay = opt_.plan.delay_for(s);
   DS_CHECK_MSG(delay >= 0, "negative delay for stage " << s);
@@ -128,10 +147,18 @@ void JobRun::on_ready(dag::StageId s) {
 }
 
 void JobRun::submit_stage(dag::StageId s) {
+  if (failed_) return;
   auto& state = st(s);
   DS_CHECK(!state.submitted);
   state.submitted = true;
   rec(s).submitted = cluster_.sim().now();
+  // A crash during the submission delay may have invalidated parent output
+  // this stage was about to read: park everything and demand the re-run.
+  if (!parents_data_ready(s)) {
+    for (int t = 0; t < dag_.stage(s).num_tasks; ++t) park_task(s, t);
+    demand_parents(s);
+    return;
+  }
   for (int t = 0; t < dag_.stage(s).num_tasks; ++t) enqueue_task(s, t);
 }
 
@@ -154,6 +181,7 @@ sim::NodeId JobRun::preferred_node(dag::StageId s) const {
 
 void JobRun::enqueue_task(dag::StageId s, int t) {
   auto& state = st(s);
+  const int epoch = ++state.enqueue_epoch[static_cast<std::size_t>(t)];
   if (opt_.plan.pipelined_shuffle) {
     cluster_.executors().request(
         [this, s, t](sim::NodeId w) { launch_attempt(s, t, 0, w); },
@@ -169,12 +197,16 @@ void JobRun::enqueue_task(dag::StageId s, int t) {
     return;
   }
   // Delay scheduling (task level): wait for the preferred node, then give
-  // up and take any slot.
+  // up and take any slot. The epoch guard retires this fallback if a fault
+  // re-queued the task in the meantime (the retry has its own request).
   const sim::SlotRequestId req = cluster_.executors().request(
       [this, s, t](sim::NodeId w) { launch_attempt(s, t, 0, w); }, pref,
       opt_.plan.priority_for(s));
-  cluster_.sim().schedule_after(opt_.locality_wait, [this, s, t, req] {
-    if (st(s).launched[static_cast<std::size_t>(t)]) return;
+  cluster_.sim().schedule_after(opt_.locality_wait, [this, s, t, req, epoch] {
+    if (failed_) return;
+    auto& state2 = st(s);
+    if (state2.enqueue_epoch[static_cast<std::size_t>(t)] != epoch) return;
+    if (state2.launched[static_cast<std::size_t>(t)]) return;
     cluster_.executors().cancel(req);
     cluster_.executors().request(
         [this, s, t](sim::NodeId w) { launch_attempt(s, t, 0, w); }, -1,
@@ -182,11 +214,32 @@ void JobRun::enqueue_task(dag::StageId s, int t) {
   });
 }
 
+void JobRun::requeue_task(dag::StageId s, int t) {
+  auto& state = st(s);
+  ++state.enqueue_epoch[static_cast<std::size_t>(t)];
+  cluster_.executors().request(
+      [this, s, t](sim::NodeId w) { launch_attempt(s, t, 0, w); }, -1,
+      opt_.plan.priority_for(s));
+}
+
 void JobRun::launch_attempt(dag::StageId s, int t, int a, sim::NodeId w) {
   auto& state = st(s);
-  // A speculative grant may arrive after the task already completed.
-  if (state.task_done[static_cast<std::size_t>(t)]) {
+  if (failed_ || state.task_done[static_cast<std::size_t>(t)]) {
+    // Terminal job, or a speculative grant arriving after completion.
     cluster_.executors().release(w);
+    return;
+  }
+  // A crash may have invalidated parent output between the slot request and
+  // this grant. Give the slot back; a primary parks until the lost parent
+  // partitions are regenerated, a speculative copy is simply abandoned.
+  if (!parents_data_ready(s)) {
+    cluster_.executors().release(w);
+    if (a == 0) {
+      if (!state.needs_requeue[static_cast<std::size_t>(t)]) park_task(s, t);
+      demand_parents(s);
+    } else {
+      state.spec_requested[static_cast<std::size_t>(t)] = false;
+    }
     return;
   }
   state.launched[static_cast<std::size_t>(t)] = true;
@@ -220,7 +273,9 @@ void JobRun::begin_read(dag::StageId s, int t, int a, sim::NodeId w) {
     // Source stage: input striped across the storage nodes (HDFS) in
     // proportion to their bandwidth — block placement balances load, so a
     // slow replica node holds correspondingly less of the hot data. With no
-    // storage tier, the input lives striped across the workers.
+    // storage tier, the input lives striped across the workers; job input is
+    // durable (replicated), so under fault injection it is re-striped over
+    // whichever workers are currently alive.
     const int ns = cluster_.num_storage_nodes();
     const Bytes want = spec.input_per_task() * mult;
     if (ns > 0) {
@@ -232,8 +287,15 @@ void JobRun::begin_read(dag::StageId s, int t, int a, sim::NodeId w) {
         sources.emplace_back(node, want * cluster_.nic_bw(node) / total_bw);
       }
     } else {
-      for (int i = 0; i < cluster_.num_workers(); ++i)
-        sources.emplace_back(cluster_.worker(i), want / cluster_.num_workers());
+      std::vector<sim::NodeId> holders;
+      for (int i = 0; i < cluster_.num_workers(); ++i) {
+        const sim::NodeId node = cluster_.worker(i);
+        if (opt_.faults == nullptr || opt_.faults->alive(node))
+          holders.push_back(node);
+      }
+      DS_CHECK_MSG(!holders.empty(), "no live input holders");
+      for (const sim::NodeId node : holders)
+        sources.emplace_back(node, want / static_cast<double>(holders.size()));
     }
   } else {
     // Shuffle read: this task's partition of every parent's output, located
@@ -265,8 +327,15 @@ void JobRun::begin_read(dag::StageId s, int t, int a, sim::NodeId w) {
     return;
   }
   for (const auto& [src, bytes] : sources) {
-    at.flows.push_back(cluster_.fabric().start_flow(
-        {src, w, bytes, s, [this, s, t, a] { flow_arrived(s, t, a); }}));
+    const auto fi = at.flows.size();
+    at.flows.push_back({0, src, false});
+    at.flows[fi].id = cluster_.fabric().start_flow(
+        {src, w, bytes, s, [this, s, t, a, fi] {
+           auto& a2 = attempt(s, t, a);
+           if (!a2.live) return;  // raced with a cancellation
+           if (fi < a2.flows.size()) a2.flows[fi].done = true;
+           flow_arrived(s, t, a);
+         }});
   }
 }
 
@@ -296,33 +365,39 @@ void JobRun::finish_read(dag::StageId s, int t, int a) {
   cluster_.begin_compute(at.node);
   at.computing = true;
 
-  // Fault injection: the attempt may abort partway through its compute and
-  // be retried from scratch (the final permitted attempt always succeeds).
-  if (opt_.task_failure_rate > 0 && tr.attempts < opt_.max_attempts &&
-      rng_.chance(opt_.task_failure_rate)) {
+  // Fault injection, task domain: every attempt (primary or speculative)
+  // independently rolls the dice and may abort partway through its compute.
+  // A task whose attempts abort max_attempts times fails the job.
+  if (opt_.task_failure_rate > 0 && rng_.chance(opt_.task_failure_rate)) {
     const Seconds abort_at = compute * rng_.uniform(0.1, 0.9);
     at.compute_event = cluster_.sim().schedule_after(
-        abort_at, [this, s, t] { on_task_failed(s, t); });
+        abort_at, [this, s, t, a] { on_attempt_failed(s, t, a); });
     return;
   }
   at.compute_event = cluster_.sim().schedule_after(
       compute, [this, s, t, a] { on_compute_done(s, t, a); });
 }
 
-void JobRun::on_task_failed(dag::StageId s, int t) {
+void JobRun::on_attempt_failed(dag::StageId s, int t, int a) {
   auto& state = st(s);
-  auto& at = attempt(s, t, 0);
-  cluster_.end_compute(at.node);
-  --state.slots_held;
-  cluster_.executors().release(at.node);
-  // Reset the attempt and re-queue the task (no locality wait on retries:
-  // the retry should start as soon as any slot frees up).
-  at = Attempt{};
-  state.read_started[static_cast<std::size_t>(t)] = false;
-  state.read_finished[static_cast<std::size_t>(t)] = false;
-  cluster_.executors().request(
-      [this, s, t](sim::NodeId w) { launch_attempt(s, t, 0, w); }, -1,
-      opt_.plan.priority_for(s));
+  auto& at = attempt(s, t, a);
+  DS_CHECK(at.live && at.computing);
+  at.compute_event = sim::kInvalidEvent;  // the abort event just fired
+  const int aborts = ++state.aborts[static_cast<std::size_t>(t)];
+  kill_attempt(s, t, a, /*node_lost=*/false);
+  if (a == 1) state.spec_requested[static_cast<std::size_t>(t)] = false;
+  if (aborts >= opt_.max_attempts) {
+    fail_job("stage " + std::to_string(s) + " task " + std::to_string(t) +
+             " aborted " + std::to_string(aborts) + " times (max_attempts)");
+    return;
+  }
+  // Re-run unless a sibling attempt is still carrying the task.
+  if (!state.task_done[static_cast<std::size_t>(t)] &&
+      !attempt(s, t, 0).live && !attempt(s, t, 1).live &&
+      !state.needs_requeue[static_cast<std::size_t>(t)]) {
+    park_task(s, t);
+    pump_requeues(s);
+  }
 }
 
 void JobRun::on_compute_done(dag::StageId s, int t, int a) {
@@ -352,6 +427,7 @@ void JobRun::on_write_done(dag::StageId s, int t, int a) {
   tr.finish = cluster_.sim().now();
   tr.node = at.node;  // the winning attempt's node
   state.finished_durations.push_back(tr.finish - at.started);
+  state.success_span[static_cast<std::size_t>(t)] = tr.finish - at.started;
 
   const dag::Stage& spec = dag_.stage(s);
   const Bytes out = spec.output_per_task() * state.mult[static_cast<std::size_t>(t)];
@@ -360,9 +436,10 @@ void JobRun::on_write_done(dag::StageId s, int t, int a) {
   cluster_.executors().release(at.node);
   at.live = false;
 
-  // A losing sibling attempt is cancelled outright.
+  // A losing sibling attempt is cancelled outright (its burn is wasted work).
   const int sibling = 1 - a;
-  if (attempt(s, t, sibling).live) cancel_attempt(s, t, sibling);
+  if (attempt(s, t, sibling).live)
+    kill_attempt(s, t, sibling, /*node_lost=*/false);
 
   if (opt_.plan.pipelined_shuffle && out > 0) push_map_output(s, at.node, out);
 
@@ -374,21 +451,26 @@ void JobRun::on_write_done(dag::StageId s, int t, int a) {
   }
 }
 
-void JobRun::cancel_attempt(dag::StageId s, int t, int a) {
+void JobRun::kill_attempt(dag::StageId s, int t, int a, bool node_lost) {
   auto& state = st(s);
   auto& at = attempt(s, t, a);
   DS_CHECK(at.live);
-  for (sim::FlowId f : at.flows) cluster_.fabric().cancel(f);
+  for (const auto& f : at.flows)
+    if (!f.done) cluster_.fabric().cancel(f.id);
   if (at.compute_event != sim::kInvalidEvent)
     cluster_.sim().cancel(at.compute_event);
   if (at.computing) cluster_.end_compute(at.node);
   if (at.writing) cluster_.disk(at.node).cancel(at.disk_claim);
+  rec(s).wasted_seconds += cluster_.sim().now() - at.started;
   --state.slots_held;
-  cluster_.executors().release(at.node);
+  // A crashed node's slots are forfeited by the pool wholesale; only kills
+  // on live nodes hand their slot back.
+  if (!node_lost) cluster_.executors().release(at.node);
   at = Attempt{};
 }
 
 void JobRun::maybe_speculate(dag::StageId s) {
+  if (failed_) return;
   auto& state = st(s);
   const auto total = static_cast<std::size_t>(dag_.stage(s).num_tasks);
   if (state.finished_durations.size() * 2 < total) return;
@@ -401,7 +483,7 @@ void JobRun::maybe_speculate(dag::StageId s) {
     const auto ti = static_cast<std::size_t>(t);
     if (state.task_done[ti]) continue;
     const Attempt& primary = attempt(s, t, 0);
-    if (!primary.live) continue;                 // still queued for a slot
+    if (!primary.live) continue;                 // queued, parked or re-queued
     if (state.spec_requested[ti]) continue;      // copy queued or running
     if (now - primary.started <= opt_.speculation_threshold * median) continue;
     state.spec_requested[ti] = true;
@@ -444,12 +526,210 @@ void JobRun::push_map_output(dag::StageId parent, sim::NodeId src, Bytes bytes) 
   }
 }
 
+bool JobRun::parents_data_ready(dag::StageId s) const {
+  for (dag::StageId p : dag_.parents(s)) {
+    const auto& ps = st(p);
+    if (ps.remaining_tasks != 0 || ps.lost_count > 0) return false;
+  }
+  return true;
+}
+
+void JobRun::park_task(dag::StageId s, int t) {
+  auto& state = st(s);
+  const auto ti = static_cast<std::size_t>(t);
+  DS_CHECK(!state.needs_requeue[ti]);
+  state.needs_requeue[ti] = true;
+  state.launched[ti] = false;
+  state.read_started[ti] = false;
+  state.read_finished[ti] = false;
+}
+
+void JobRun::pump_requeues(dag::StageId s) {
+  if (failed_) return;
+  auto& state = st(s);
+  if (!state.submitted) return;
+  bool any_parked = false;
+  for (int t = 0; t < dag_.stage(s).num_tasks; ++t) {
+    if (state.needs_requeue[static_cast<std::size_t>(t)]) {
+      any_parked = true;
+      break;
+    }
+  }
+  if (!any_parked) return;
+  if (!parents_data_ready(s)) {
+    // Inputs are missing upstream: leave the tasks parked and demand the
+    // parent re-runs; the refinishing parent pumps this stage again.
+    demand_parents(s);
+    return;
+  }
+  for (int t = 0; t < dag_.stage(s).num_tasks; ++t) {
+    const auto ti = static_cast<std::size_t>(t);
+    if (!state.needs_requeue[ti]) continue;
+    state.needs_requeue[ti] = false;
+    requeue_task(s, t);
+  }
+}
+
+void JobRun::demand_parents(dag::StageId s) {
+  if (failed_) return;
+  const Seconds now = cluster_.sim().now();
+  for (dag::StageId p : dag_.parents(s)) {
+    auto& ps = st(p);
+    if (ps.lost_count > 0) {
+      // Reopen the finished parent: exactly the lost tasks re-run (Spark's
+      // stage resubmission on fetch failure), bounded per stage.
+      auto& r = rec(p);
+      DS_CHECK(r.finish >= 0);
+      r.finish = -1;
+      ++stages_remaining_;
+      ++r.resubmissions;
+      ps.reopened_at = now;
+      for (int t = 0; t < dag_.stage(p).num_tasks; ++t) {
+        const auto ti = static_cast<std::size_t>(t);
+        if (!ps.lost[ti]) continue;
+        ps.lost[ti] = false;
+        ps.task_done[ti] = false;
+        ps.spec_requested[ti] = false;
+        ++ps.remaining_tasks;
+        ++r.tasks_rerun;
+        park_task(p, t);
+      }
+      ps.lost_count = 0;
+      if (r.resubmissions > opt_.max_stage_resubmissions) {
+        fail_job("stage " + std::to_string(p) + " resubmitted " +
+                 std::to_string(r.resubmissions) +
+                 " times (max_stage_resubmissions)");
+        return;
+      }
+    }
+    if (ps.remaining_tasks > 0) pump_requeues(p);
+  }
+}
+
+void JobRun::on_node_crashed(sim::NodeId w) {
+  if (!started_ || result_.finished()) return;
+  ++result_.node_crashes;
+
+  // Pass 1 — the node's storage dies with it: invalidate the shuffle output
+  // of every completed task that wrote on w. Tasks of still-running stages
+  // re-run immediately (the stage must finish anyway); tasks of finished
+  // stages are only marked lost and re-run lazily, when (and if) a
+  // downstream consumer demands the data. Zeroing output_at_node *before*
+  // killing attempts keeps any re-read from fetching ghost bytes.
+  for (dag::StageId s = 0; s < dag_.num_stages(); ++s) {
+    auto& state = st(s);
+    if (!state.submitted) continue;
+    if (dag_.stage(s).output_per_task() <= 0) continue;
+    const bool was_finished = rec(s).finish >= 0;
+    bool invalidated = false;
+    for (int t = 0; t < dag_.stage(s).num_tasks; ++t) {
+      const auto ti = static_cast<std::size_t>(t);
+      if (!state.task_done[ti] || task(s, t).node != w) continue;
+      invalidated = true;
+      rec(s).wasted_seconds += state.success_span[ti];
+      if (was_finished) {
+        state.lost[ti] = true;
+        ++state.lost_count;
+      } else {
+        state.task_done[ti] = false;
+        state.spec_requested[ti] = false;
+        ++state.remaining_tasks;
+        ++rec(s).tasks_rerun;
+        park_task(s, t);
+      }
+    }
+    if (invalidated)
+      state.output_at_node[static_cast<std::size_t>(w)] = 0;
+  }
+
+  // Pass 2 — kill live attempts: anything running on w dies with its slot;
+  // anything elsewhere still fetching from w takes a fetch failure. A task
+  // left with no live attempt parks for re-queueing.
+  for (dag::StageId s = 0; s < dag_.num_stages(); ++s) {
+    auto& state = st(s);
+    if (!state.submitted) continue;
+    for (int t = 0; t < dag_.stage(s).num_tasks; ++t) {
+      const auto ti = static_cast<std::size_t>(t);
+      bool killed_any = false;
+      for (int a = 0; a < 2; ++a) {
+        auto& at = attempt(s, t, a);
+        if (!at.live) continue;
+        bool killed = false;
+        if (at.node == w) {
+          kill_attempt(s, t, a, /*node_lost=*/true);
+          killed = true;
+        } else if (!at.read_done) {
+          bool fetching = false;
+          for (const auto& f : at.flows)
+            if (!f.done && f.src == w) fetching = true;
+          if (fetching) {
+            ++result_.fetch_failures;
+            kill_attempt(s, t, a, /*node_lost=*/false);
+            killed = true;
+          }
+        }
+        if (killed) {
+          killed_any = true;
+          if (a == 1) state.spec_requested[ti] = false;
+        }
+      }
+      if (killed_any && !state.task_done[ti] && !attempt(s, t, 0).live &&
+          !attempt(s, t, 1).live && !state.needs_requeue[ti]) {
+        park_task(s, t);
+      }
+    }
+  }
+
+  // Pass 3 — put every stage with parked work back in motion (demanding
+  // lost parent partitions recursively where inputs are gone).
+  for (dag::StageId s = 0; s < dag_.num_stages(); ++s) {
+    if (failed_) return;
+    pump_requeues(s);
+  }
+}
+
+void JobRun::fail_job(const std::string& reason) {
+  if (failed_ || result_.complete()) return;
+  failed_ = true;
+  result_.failed = true;
+  result_.failed_at = cluster_.sim().now();
+  result_.failure_reason = reason;
+  // Unwind every live attempt; their burn counts as wasted work. Queued slot
+  // requests drain harmlessly (launch_attempt releases grants once failed_).
+  for (dag::StageId s = 0; s < dag_.num_stages(); ++s) {
+    for (int t = 0; t < dag_.stage(s).num_tasks; ++t) {
+      for (int a = 0; a < 2; ++a) {
+        if (attempt(s, t, a).live) kill_attempt(s, t, a, /*node_lost=*/false);
+      }
+    }
+  }
+  if (occupancy_event_ != sim::kInvalidEvent) {
+    cluster_.sim().cancel(occupancy_event_);
+    occupancy_event_ = sim::kInvalidEvent;
+  }
+}
+
 void JobRun::finish_stage(dag::StageId s) {
-  rec(s).finish = cluster_.sim().now();
-  for (dag::StageId c : dag_.children(s)) {
-    auto& cs = st(c);
-    DS_CHECK(cs.remaining_parents > 0);
-    if (--cs.remaining_parents == 0) on_ready(c);
+  auto& state = st(s);
+  auto& r = rec(s);
+  r.finish = cluster_.sim().now();
+  if (state.reopened_at >= 0) {
+    r.recovery_seconds += r.finish - state.reopened_at;
+    state.reopened_at = -1;
+  }
+  if (!state.finished_once) {
+    state.finished_once = true;
+    for (dag::StageId c : dag_.children(s)) {
+      auto& cs = st(c);
+      DS_CHECK(cs.remaining_parents > 0);
+      if (--cs.remaining_parents == 0) on_ready(c);
+    }
+  } else {
+    // Re-finish after a reopening: children already consumed their
+    // remaining_parents; wake any of their tasks parked on our lost data.
+    for (dag::StageId c : dag_.children(s)) {
+      if (st(c).submitted) pump_requeues(c);
+    }
   }
   DS_CHECK(stages_remaining_ > 0);
   if (--stages_remaining_ == 0) {

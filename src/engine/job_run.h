@@ -24,6 +24,28 @@
 // RunOptions::speculation) a speculative copy launched when the primary
 // lags the stage's finished tasks. The first attempt to complete wins; the
 // loser's flows, compute and disk write are cancelled and its slot freed.
+//
+// Failure model. Two failure domains compose:
+//
+//  * Task aborts (task_failure_rate): every attempt independently aborts
+//    partway through its compute with this probability and is retried from
+//    scratch. A task that aborts max_attempts times fails the *job*
+//    terminally (JobResult::failed) — there is no "final attempt always
+//    succeeds" fiction.
+//  * Node crashes (RunOptions::faults → sim::FaultInjector): a crash kills
+//    every live attempt on the node, forfeits its slots, and invalidates the
+//    shuffle output it stored. Attempts elsewhere that were mid-fetch from
+//    the dead node take a *fetch failure* and re-queue. Lost parent output
+//    is regenerated lazily and recursively: only when (and if) a downstream
+//    task actually needs the missing partitions are the producing tasks
+//    re-submitted, reopening finished stages Spark-style. Reopenings per
+//    stage are capped by max_stage_resubmissions; exceeding the cap fails
+//    the job. Crash-driven re-runs do not count against max_attempts (like
+//    Spark, which exempts fetch failures from spark.task.maxFailures).
+//
+// Fault injection composes with speculation and locality waits; only
+// pipelined_shuffle (AggShuffle's eager pushes) remains incompatible with
+// both failure domains and with speculation.
 #pragma once
 
 #include <array>
@@ -36,6 +58,7 @@
 #include "engine/records.h"
 #include "metrics/timeseries.h"
 #include "sim/cluster.h"
+#include "sim/faults.h"
 #include "util/rng.h"
 
 namespace ds::engine {
@@ -47,13 +70,24 @@ struct RunOptions {
   // Record per-stage executor occupancy (Fig. 13).
   bool record_occupancy = false;
   Seconds occupancy_dt = 1.0;
-  // Fault injection: each task attempt independently aborts mid-compute
-  // with this probability and is retried Spark-style (slot released,
-  // re-queued, input re-fetched). Attempts are capped at max_attempts; the
-  // final attempt always succeeds. Incompatible with pipelined_shuffle and
-  // speculation.
+  // Fault injection, task domain: each attempt independently aborts
+  // mid-compute with this probability (must be in [0, 1)) and is retried
+  // Spark-style (slot released, re-queued, input re-fetched). A task whose
+  // attempts abort max_attempts times fails the job (JobResult::failed).
+  // Incompatible with pipelined_shuffle; composes with speculation.
   double task_failure_rate = 0.0;
   int max_attempts = 4;
+  // Fault injection, node domain: subscribe this run to a fault injector
+  // driving whole-node crashes, recoveries and link degradation on the same
+  // cluster. The injector must outlive the run (and FaultInjector::start()
+  // must be called for faults to actually fire). Incompatible with
+  // pipelined_shuffle.
+  sim::FaultInjector* faults = nullptr;
+  // How many times a *finished* stage may be reopened because a crash
+  // invalidated its stored shuffle output (Spark's
+  // spark.stage.maxConsecutiveAttempts analogue). Exceeding it fails the
+  // job terminally.
+  int max_stage_resubmissions = 4;
   // Task-level delay scheduling (Zaharia et al., EuroSys'10 — the technique
   // the paper contrasts DelayStage with in §1): a shuffle task first waits
   // up to this long for a slot on the worker holding most of its input
@@ -64,15 +98,14 @@ struct RunOptions {
   // whose current attempt has run longer than speculation_threshold × the
   // median finished duration gets a parallel copy on another executor; the
   // first finisher wins. Fixes machine-level stragglers (slow nodes, see
-  // ClusterSpec::node_speed_*). Incompatible with pipelined_shuffle and
-  // fault injection.
+  // ClusterSpec::node_speed_*). Incompatible with pipelined_shuffle.
   bool speculation = false;
   double speculation_threshold = 1.5;
 };
 
 class JobRun {
  public:
-  // The dag and cluster must outlive the run.
+  // The dag, cluster and fault injector (if any) must outlive the run.
   JobRun(sim::Cluster& cluster, const dag::JobDag& dag, RunOptions opt);
   ~JobRun();
   JobRun(const JobRun&) = delete;
@@ -81,7 +114,8 @@ class JobRun {
   // Schedule the job at the current sim time; drive with cluster.sim().run().
   void start();
 
-  bool finished() const { return result_.complete(); }
+  // Terminal: completed successfully or failed (see result().failed).
+  bool finished() const { return result_.finished(); }
   // Valid once finished().
   const JobResult& result() const;
   // Executor slots held by stage `s` over time (record_occupancy only).
@@ -90,6 +124,14 @@ class JobRun {
   int speculative_attempts() const { return speculative_attempts_; }
 
  private:
+  // A flow an attempt is waiting on, with the node it pulls from (needed to
+  // detect fetch failures when a source node dies mid-transfer).
+  struct AttemptFlow {
+    sim::FlowId id = 0;
+    sim::NodeId src = -1;
+    bool done = false;  // delivered; no longer at risk from a source crash
+  };
+
   // One running execution of a task. index 0 = primary, 1 = speculative.
   struct Attempt {
     bool live = false;
@@ -98,7 +140,7 @@ class JobRun {
     int pending_flows = 0;
     bool read_done = false;
     bool computing = false;
-    std::vector<sim::FlowId> flows;
+    std::vector<AttemptFlow> flows;
     sim::EventId compute_event = sim::kInvalidEvent;
     bool writing = false;
     sim::ClaimId disk_claim = 0;
@@ -108,6 +150,8 @@ class JobRun {
     int remaining_parents = 0;
     int remaining_tasks = 0;
     bool submitted = false;
+    bool finished_once = false;  // children's remaining_parents consumed
+    Seconds reopened_at = -1;                // for recovery_seconds
     std::vector<double> mult;                // per-task skew, mean 1
     std::vector<sim::NodeId> planned_node;   // AggShuffle pre-assignment
     std::vector<Bytes> output_at_node;       // filled as tasks write
@@ -121,6 +165,16 @@ class JobRun {
     std::vector<bool> launched;              // granted a slot (locality wait)
     std::vector<bool> task_done;
     std::vector<bool> spec_requested;        // a copy is queued or running
+    std::vector<bool> needs_requeue;         // parked, awaiting re-enqueue
+    // Completed tasks of a *finished* stage whose output a crash destroyed.
+    // They stay done until a downstream consumer actually demands the data,
+    // at which point the stage is reopened and they are re-run (lazy,
+    // recursive resubmission — Spark's fetch-failure path).
+    std::vector<bool> lost;
+    int lost_count = 0;
+    std::vector<int> enqueue_epoch;          // guards stale locality fallbacks
+    std::vector<int> aborts;                 // dice failures, vs max_attempts
+    std::vector<Seconds> success_span;       // winning attempt's span
     std::vector<std::array<Attempt, 2>> attempts;
     std::vector<Seconds> finished_durations;  // attempt spans, for speculation
     int slots_held = 0;                      // for occupancy sampling
@@ -131,16 +185,22 @@ class JobRun {
   void on_ready(dag::StageId s);
   void submit_stage(dag::StageId s);
   void enqueue_task(dag::StageId s, int t);
+  // Re-enqueue after an abort, crash kill or fetch failure: no locality wait
+  // (the retry should start as soon as any slot frees up).
+  void requeue_task(dag::StageId s, int t);
   // Worker holding the largest share of this task's shuffle input, or -1.
   sim::NodeId preferred_node(dag::StageId s) const;
   void launch_attempt(dag::StageId s, int t, int a, sim::NodeId w);
   void begin_read(dag::StageId s, int t, int a, sim::NodeId w);
   void flow_arrived(dag::StageId s, int t, int a);
   void finish_read(dag::StageId s, int t, int a);
-  void on_task_failed(dag::StageId s, int t);
+  void on_attempt_failed(dag::StageId s, int t, int a);
   void on_compute_done(dag::StageId s, int t, int a);
   void on_write_done(dag::StageId s, int t, int a);
-  void cancel_attempt(dag::StageId s, int t, int a);
+  // Tear down a live attempt (flows, compute, write, slot accounting).
+  // node_lost: the attempt's node crashed, so its slot is forfeited rather
+  // than released back to the pool.
+  void kill_attempt(dag::StageId s, int t, int a, bool node_lost);
   void maybe_speculate(dag::StageId s);
   void finish_stage(dag::StageId s);
   // AggShuffle: push `bytes` of freshly-written map output of `parent` from
@@ -148,7 +208,24 @@ class JobRun {
   void push_map_output(dag::StageId parent, sim::NodeId src, Bytes bytes);
   void sample_occupancy();
 
+  // --- failure-domain recovery ---
+  // Every parent's data is materialized (no lost/unfinished tasks upstream).
+  bool parents_data_ready(dag::StageId s) const;
+  // Park task t until its stage is pumped (attempt gone or output lost).
+  void park_task(dag::StageId s, int t);
+  // Re-enqueue every parked task of `s` whose inputs are available; demands
+  // missing parent output (recursively) otherwise.
+  void pump_requeues(dag::StageId s);
+  // A consumer needs `s`'s parents' output: reopen finished parents with
+  // lost partitions (re-running just those tasks) and pump parked ones.
+  void demand_parents(dag::StageId s);
+  void on_node_crashed(sim::NodeId w);
+  void fail_job(const std::string& reason);
+
   StageState& st(dag::StageId s) { return st_[static_cast<std::size_t>(s)]; }
+  const StageState& st(dag::StageId s) const {
+    return st_[static_cast<std::size_t>(s)];
+  }
   Attempt& attempt(dag::StageId s, int t, int a) {
     return st(s).attempts[static_cast<std::size_t>(t)][static_cast<std::size_t>(a)];
   }
@@ -166,9 +243,11 @@ class JobRun {
   JobResult result_;
   int stages_remaining_ = 0;
   bool started_ = false;
+  bool failed_ = false;
   int speculative_attempts_ = 0;
   std::vector<metrics::TimeSeries> occupancy_;
   sim::EventId occupancy_event_ = sim::kInvalidEvent;
+  sim::FaultInjector::SubscriptionId fault_sub_ = 0;
 };
 
 }  // namespace ds::engine

@@ -1,8 +1,10 @@
 // Execution records produced by a job run — the raw material for every
 // prototype figure: stage breakdowns (Fig. 11/16), JCTs (Fig. 10),
-// occupancy (Fig. 13).
+// occupancy (Fig. 13) — plus the recovery observability the fault-injection
+// subsystem adds (resubmissions, wasted work, recovery time).
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "dag/stage.h"
@@ -19,7 +21,7 @@ struct TaskRecord {
   Seconds read_done = -1;     // successful attempt: input fetched
   Seconds compute_done = -1;  // successful attempt: processing finished
   Seconds finish = -1;        // write complete; slot released
-  int attempts = 0;           // 1 = no retries (fault injection, RunOptions)
+  int attempts = 0;           // 1 = no retries (faults, crashes, speculation)
 };
 
 struct StageRecord {
@@ -29,6 +31,21 @@ struct StageRecord {
   Seconds first_launch = -1;
   Seconds last_read_done = -1;  // end of the stage's shuffle-read span
   Seconds finish = -1;
+
+  // --- recovery observability (fault injection) ---
+  // Times a *finished* stage was reopened because a node crash invalidated
+  // shuffle output it had stored (Spark's stage resubmission on fetch
+  // failure). Bounded by RunOptions::max_stage_resubmissions.
+  int resubmissions = 0;
+  // Completed tasks whose output was lost and had to run again.
+  int tasks_rerun = 0;
+  // Seconds of discarded attempt time: mid-compute aborts, attempts killed
+  // by node crashes or fetch failures, losing speculative copies, and the
+  // full span of completed tasks whose output was later invalidated.
+  Seconds wasted_seconds = 0;
+  // Time the stage spent re-finishing after being reopened (crash →
+  // re-completion), summed over reopen incidents.
+  Seconds recovery_seconds = 0;
 
   // Fig. 11's grey/white split: shuffle-read span vs processing+write span.
   Seconds read_span() const { return last_read_done - first_launch; }
@@ -41,7 +58,36 @@ struct JobResult {
   std::vector<StageRecord> stages;  // indexed by StageId
   std::vector<TaskRecord> tasks;
 
+  // Terminal failure: a task exceeded max_attempts or a stage exceeded
+  // max_stage_resubmissions. jct stays -1; failed_at records when the job
+  // gave up.
+  bool failed = false;
+  Seconds failed_at = -1;
+  std::string failure_reason;
+
+  // Recovery summary.
+  int node_crashes = 0;    // crashes that landed while this job ran
+  int fetch_failures = 0;  // attempts killed because a shuffle source died
+
   bool complete() const { return jct >= 0; }
+  // The run reached a terminal state — successfully or not.
+  bool finished() const { return complete() || failed; }
+
+  Seconds wasted_seconds() const {
+    Seconds w = 0;
+    for (const auto& s : stages) w += s.wasted_seconds;
+    return w;
+  }
+  int resubmissions() const {
+    int n = 0;
+    for (const auto& s : stages) n += s.resubmissions;
+    return n;
+  }
+  int tasks_rerun() const {
+    int n = 0;
+    for (const auto& s : stages) n += s.tasks_rerun;
+    return n;
+  }
 };
 
 }  // namespace ds::engine

@@ -12,6 +12,7 @@ ExecutorPool::ExecutorPool(Simulator& sim, std::vector<int> slots_per_node)
   DS_CHECK_MSG(!slots_.empty(), "executor pool needs at least one node");
   for (int s : slots_) DS_CHECK_MSG(s >= 0, "negative slot count");
   busy_.assign(slots_.size(), 0);
+  offline_.assign(slots_.size(), false);
 }
 
 SlotRequestId ExecutorPool::request(std::function<void(NodeId)> granted,
@@ -39,9 +40,25 @@ void ExecutorPool::cancel(SlotRequestId id) {
 }
 
 void ExecutorPool::release(NodeId node) {
+  DS_CHECK_MSG(!offline(node), "release on offline node " << node);
   auto& b = busy_.at(static_cast<std::size_t>(node));
   DS_CHECK_MSG(b > 0, "release on node " << node << " with no busy slots");
   --b;
+  pump();
+}
+
+void ExecutorPool::crash_node(NodeId node) {
+  DS_CHECK_MSG(node >= 0 && node < num_nodes(), "crash_node out of range");
+  DS_CHECK_MSG(!offline(node), "crash_node on already-offline node " << node);
+  offline_[static_cast<std::size_t>(node)] = true;
+  busy_[static_cast<std::size_t>(node)] = 0;
+}
+
+void ExecutorPool::restore_node(NodeId node) {
+  DS_CHECK_MSG(node >= 0 && node < num_nodes(), "restore_node out of range");
+  DS_CHECK_MSG(offline(node), "restore_node on live node " << node);
+  DS_CHECK(busy_[static_cast<std::size_t>(node)] == 0);
+  offline_[static_cast<std::size_t>(node)] = false;
   pump();
 }
 

@@ -2,6 +2,11 @@
 // number of executors per worker; waiting tasks are granted slots FIFO, each
 // grant choosing the worker with the most free slots (load-balanced
 // placement, which is also what the paper's Fuxi baseline does).
+//
+// Failure domains: a node can be taken offline (crash_node) — its slots stop
+// being granted and any held slots are forfeited wholesale; restore_node
+// brings it back empty. Slot holders must stop treating their grants as valid
+// before crash_node runs (the FaultInjector notifies engines first).
 #pragma once
 
 #include <cstdint>
@@ -33,10 +38,22 @@ class ExecutorPool {
   // Return a slot on `node` previously granted.
   void release(NodeId node);
 
+  // Take `node` offline: its busy count is forfeited (the node is gone, the
+  // slots die with it) and no further grants target it. Holders must already
+  // have abandoned their grants — release() on an offline node is an error.
+  void crash_node(NodeId node);
+  // Bring a crashed node back with all slots free.
+  void restore_node(NodeId node);
+  bool offline(NodeId node) const {
+    return offline_.at(static_cast<std::size_t>(node));
+  }
+
   int num_nodes() const { return static_cast<int>(slots_.size()); }
   int slots(NodeId node) const { return slots_.at(static_cast<std::size_t>(node)); }
   int busy(NodeId node) const { return busy_.at(static_cast<std::size_t>(node)); }
-  int free_slots(NodeId node) const { return slots(node) - busy(node); }
+  int free_slots(NodeId node) const {
+    return offline(node) ? 0 : slots(node) - busy(node);
+  }
   int total_slots() const;
   int total_busy() const;
   std::size_t queued() const { return waiters_.size(); }
@@ -54,6 +71,7 @@ class ExecutorPool {
   Simulator& sim_;
   std::vector<int> slots_;
   std::vector<int> busy_;
+  std::vector<bool> offline_;
   std::deque<Waiter> waiters_;
   SlotRequestId next_id_ = 1;
   bool pump_scheduled_ = false;

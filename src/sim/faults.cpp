@@ -1,0 +1,126 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ds::sim {
+
+FaultInjector::FaultInjector(Cluster& cluster, FaultPlan plan,
+                             std::uint64_t seed)
+    : cluster_(cluster), plan_(std::move(plan)), rng_(seed) {
+  alive_.assign(static_cast<std::size_t>(cluster_.total_nodes()), true);
+  validate();
+}
+
+void FaultInjector::validate() const {
+  for (const auto& c : plan_.crashes) {
+    DS_CHECK_MSG(cluster_.is_worker(c.node),
+                 "FaultPlan: crash target " << c.node
+                                            << " is not a worker node");
+    DS_CHECK_MSG(c.at >= 0, "FaultPlan: negative crash time");
+  }
+  for (const auto& d : plan_.degradations) {
+    DS_CHECK_MSG(d.node >= 0 && d.node < cluster_.total_nodes(),
+                 "FaultPlan: degradation node " << d.node << " out of range");
+    DS_CHECK_MSG(d.factor > 0 && d.factor <= 1.0,
+                 "FaultPlan: degradation factor must be in (0, 1]");
+    DS_CHECK_MSG(d.from >= 0 && d.until > d.from,
+                 "FaultPlan: degradation window must be well-formed");
+  }
+  DS_CHECK_MSG(plan_.crash_rate >= 0, "FaultPlan: negative crash_rate");
+  DS_CHECK_MSG(plan_.crash_rate == 0 || plan_.crash_horizon > 0,
+               "FaultPlan: stochastic crashes need a positive crash_horizon");
+}
+
+void FaultInjector::start() {
+  DS_CHECK_MSG(!started_, "FaultInjector::start() called twice");
+  started_ = true;
+  Simulator& sim = cluster_.sim();
+
+  // Expand the stochastic hazard into concrete crash events so the whole
+  // run is a pure function of (plan, seed). Per worker: exponential gaps
+  // between failures, exponential downtimes, nothing drawn while down.
+  std::vector<NodeCrash> all = plan_.crashes;
+  if (plan_.crash_rate > 0) {
+    for (int w = 0; w < cluster_.num_workers(); ++w) {
+      Seconds t = rng_.exponential(plan_.crash_rate);
+      while (t < plan_.crash_horizon) {
+        NodeCrash c;
+        c.node = cluster_.worker(w);
+        c.at = t;
+        if (plan_.mean_downtime >= 0) {
+          c.downtime = rng_.exponential(1.0 / std::max(plan_.mean_downtime,
+                                                       Seconds{1e-9}));
+          all.push_back(c);
+          t += c.downtime + rng_.exponential(plan_.crash_rate);
+        } else {
+          all.push_back(c);  // permanent: this worker is done
+          break;
+        }
+      }
+    }
+  }
+  // Stable event order regardless of plan/draw order.
+  std::sort(all.begin(), all.end(), [](const NodeCrash& a, const NodeCrash& b) {
+    return a.at != b.at ? a.at < b.at : a.node < b.node;
+  });
+
+  for (const auto& c : all) {
+    if (c.at < sim.now()) continue;
+    sim.schedule_at(c.at, [this, c] { crash(c.node, c.downtime); });
+  }
+  for (const auto& d : plan_.degradations) {
+    if (d.until <= sim.now()) continue;
+    const Seconds from = std::max(d.from, sim.now());
+    sim.schedule_at(from, [this, d] {
+      if (alive(d.node)) cluster_.fabric().set_node_scale(d.node, d.factor);
+    });
+    sim.schedule_at(d.until, [this, d] {
+      cluster_.fabric().set_node_scale(d.node, 1.0);
+    });
+  }
+}
+
+void FaultInjector::crash(NodeId n, Seconds downtime) {
+  if (!alive(n)) return;  // overlapping plans: already down
+  alive_[static_cast<std::size_t>(n)] = false;
+  ++crashes_injected_;
+  // Engines first (they unwind attempts against live accounting), then the
+  // pool forfeits the node's slots.
+  for (const auto& s : subscribers_) {
+    if (s.on_crash) s.on_crash(n);
+  }
+  cluster_.executors().crash_node(n);
+  if (downtime >= 0) {
+    cluster_.sim().schedule_after(downtime, [this, n] { recover(n); });
+  }
+}
+
+void FaultInjector::recover(NodeId n) {
+  if (alive(n)) return;
+  alive_[static_cast<std::size_t>(n)] = true;
+  ++recoveries_;
+  cluster_.executors().restore_node(n);
+  for (const auto& s : subscribers_) {
+    if (s.on_recover) s.on_recover(n);
+  }
+}
+
+FaultInjector::SubscriptionId FaultInjector::subscribe(Handler on_crash,
+                                                       Handler on_recover) {
+  const SubscriptionId id = next_sub_++;
+  subscribers_.push_back({id, std::move(on_crash), std::move(on_recover)});
+  return id;
+}
+
+void FaultInjector::unsubscribe(SubscriptionId id) {
+  for (auto it = subscribers_.begin(); it != subscribers_.end(); ++it) {
+    if (it->id == id) {
+      subscribers_.erase(it);
+      return;
+    }
+  }
+}
+
+}  // namespace ds::sim

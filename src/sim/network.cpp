@@ -103,6 +103,17 @@ FlowId NetworkFabric::start_flow(FlowSpec spec) {
   return id;
 }
 
+void NetworkFabric::set_node_scale(NodeId n, double factor) {
+  DS_CHECK_MSG(n >= 0 && n < num_nodes(), "set_node_scale: bad node");
+  DS_CHECK_MSG(factor > 0, "set_node_scale: factor must be positive");
+  if (link_scale_.empty()) link_scale_.assign(nic_bw_.size(), 1.0);
+  if (link_scale_[static_cast<std::size_t>(n)] == factor) return;
+  advance_to_now();
+  link_scale_[static_cast<std::size_t>(n)] = factor;
+  reallocate();
+  reschedule();
+}
+
 void NetworkFabric::cancel(FlowId id) {
   advance_to_now();
   if (flows_.erase(id) > 0) {
@@ -161,8 +172,12 @@ void NetworkFabric::reallocate() {
   std::vector<double> caps(
       static_cast<std::size_t>(3 * n + num_sites_ * num_sites_));
   for (int i = 0; i < n; ++i) {
-    caps[static_cast<std::size_t>(egress_port(i))] = nic_bw_[static_cast<std::size_t>(i)];
-    caps[static_cast<std::size_t>(ingress_port(i))] = nic_bw_[static_cast<std::size_t>(i)];
+    const double scale =
+        link_scale_.empty() ? 1.0 : link_scale_[static_cast<std::size_t>(i)];
+    caps[static_cast<std::size_t>(egress_port(i))] =
+        nic_bw_[static_cast<std::size_t>(i)] * scale;
+    caps[static_cast<std::size_t>(ingress_port(i))] =
+        nic_bw_[static_cast<std::size_t>(i)] * scale;
     caps[static_cast<std::size_t>(loopback_port(i))] = loopback_bw_;
   }
   for (int a = 0; a < num_sites_; ++a)

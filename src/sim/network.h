@@ -74,6 +74,14 @@ class NetworkFabric {
   std::size_t active_flows() const { return flows_.size(); }
   BytesPerSec nic_bw(NodeId n) const { return nic_bw_.at(static_cast<std::size_t>(n)); }
 
+  // Scale node n's access link (egress + ingress) to `factor` × its
+  // provisioned bandwidth — the FaultInjector's degradation windows. Active
+  // flows are re-allocated immediately; 1.0 restores full capacity.
+  void set_node_scale(NodeId n, double factor);
+  double node_scale(NodeId n) const {
+    return link_scale_.empty() ? 1.0 : link_scale_.at(static_cast<std::size_t>(n));
+  }
+
   // Instantaneous NIC throughput for metrics sampling (remote flows only —
   // loopback traffic never touches the NIC).
   BytesPerSec node_rx_rate(NodeId n) const;
@@ -110,6 +118,7 @@ class NetworkFabric {
 
   Simulator& sim_;
   std::vector<BytesPerSec> nic_bw_;
+  std::vector<double> link_scale_;  // lazily sized; empty = all 1.0
   BytesPerSec loopback_bw_;
   double group_penalty_;
   std::vector<int> site_of_;

@@ -70,16 +70,26 @@ TEST(FaultInjection, FailuresProlongTheJob) {
   healthy.seed = 3;
   RunOptions faulty;
   faulty.seed = 3;
-  faulty.task_failure_rate = 0.6;
-  EXPECT_GT(run(chain_job(), faulty).jct, run(chain_job(), healthy).jct);
+  faulty.task_failure_rate = 0.3;
+  const JobResult r = run(chain_job(), faulty);
+  ASSERT_FALSE(r.failed);  // this seed's aborts stay under max_attempts
+  EXPECT_GT(r.jct, run(chain_job(), healthy).jct);
+  EXPECT_GT(r.wasted_seconds(), 0.0);  // aborted attempts burned real time
 }
 
-TEST(FaultInjection, AttemptsCappedByMaxAttempts) {
+TEST(FaultInjection, ExhaustedAttemptsFailTheJobTerminally) {
+  // No "final attempt always succeeds" fiction: a task whose attempts abort
+  // max_attempts times aborts the whole job, Spark-style.
   RunOptions opt;
   opt.task_failure_rate = 0.95;
   opt.max_attempts = 2;
   opt.seed = 9;
   const JobResult r = run(chain_job(), opt);
+  ASSERT_TRUE(r.failed);
+  EXPECT_FALSE(r.complete());
+  EXPECT_LT(r.jct, 0);
+  EXPECT_GT(r.failed_at, 0);
+  EXPECT_NE(r.failure_reason.find("max_attempts"), std::string::npos);
   for (const auto& t : r.tasks) EXPECT_LE(t.attempts, 2);
 }
 
@@ -105,6 +115,14 @@ TEST(FaultInjection, RejectsInvalidConfigs) {
   agg.task_failure_rate = 0.2;
   agg.plan.pipelined_shuffle = true;
   EXPECT_THROW(JobRun(cluster, j, agg), CheckError);
+  sim::FaultInjector inj(cluster, {}, 1);
+  RunOptions crashy;
+  crashy.faults = &inj;
+  crashy.plan.pipelined_shuffle = true;
+  EXPECT_THROW(JobRun(cluster, j, crashy), CheckError);
+  RunOptions neg;
+  neg.max_stage_resubmissions = -1;
+  EXPECT_THROW(JobRun(cluster, j, neg), CheckError);
 }
 
 // ---------- priority scheduling ----------

@@ -117,14 +117,35 @@ TEST(Speculation, RejectsIncompatibleModes) {
   agg.speculation = true;
   agg.plan.pipelined_shuffle = true;
   EXPECT_THROW(JobRun(cluster, job, agg), CheckError);
-  RunOptions faulty;
-  faulty.speculation = true;
-  faulty.task_failure_rate = 0.2;
-  EXPECT_THROW(JobRun(cluster, job, faulty), CheckError);
   RunOptions bad;
   bad.speculation = true;
   bad.speculation_threshold = 0.9;
   EXPECT_THROW(JobRun(cluster, job, bad), CheckError);
+}
+
+TEST(Speculation, ComposesWithTaskFaults) {
+  // Speculation and task-abort fault injection used to be mutually
+  // exclusive; now copies and retries coexist: an aborted copy clears the
+  // way for a fresh one, an aborted primary leaves the task to its copy.
+  sim::Simulator sim;
+  sim::Cluster cluster(sim, heterogeneous(), 42);
+  RunOptions opt;
+  opt.speculation = true;
+  opt.task_failure_rate = 0.2;
+  opt.seed = 42;
+  const dag::JobDag job = wide_job();
+  JobRun jr(cluster, job, opt);
+  jr.start();
+  sim.run();
+  ASSERT_TRUE(jr.finished());
+  ASSERT_FALSE(jr.result().failed);
+  EXPECT_EQ(cluster.executors().total_busy(), 0);
+  EXPECT_EQ(cluster.fabric().active_flows(), 0u);
+  EXPECT_GT(jr.speculative_attempts(), 0);
+  int retries = 0;
+  for (const auto& t : jr.result().tasks) retries += t.attempts - 1;
+  EXPECT_GT(retries, 0);
+  EXPECT_GT(jr.result().wasted_seconds(), 0.0);
 }
 
 TEST(Speculation, SlowNodesStretchComputeWithoutSpeculation) {
