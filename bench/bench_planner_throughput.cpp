@@ -1,0 +1,161 @@
+// Planner/replay throughput micro-benchmark for the parallel DelayStage
+// planner. Times DelayCalculator::compute() on the four §5 workloads at
+// 1/4/8 threads, and the trace replay's per-job planning fan-out, then
+// writes the numbers to BENCH_planner.json (consumed by
+// tools/check_bench.py, which fails on >20% regressions vs the committed
+// baseline).
+//
+//   ./bench_planner_throughput [output.json]
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/delay_calculator.h"
+#include "core/profile.h"
+#include "sim/cluster.h"
+#include "trace/replay.h"
+#include "trace/synthetic.h"
+#include "util/check.h"
+#include "util/table.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+struct PlanSample {
+  std::string workload;
+  int threads = 1;
+  double ms_per_plan = 0;
+  double evals_per_sec = 0;
+  std::uint64_t evaluations = 0;
+  std::uint64_t memo_hits = 0;
+};
+
+struct ReplaySample {
+  int threads = 1;
+  std::size_t jobs = 0;
+  double jobs_per_sec = 0;
+  double mean_jct = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ds;
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_planner.json";
+  const int thread_counts[] = {1, 4, 8};
+
+  // --- Planner: DelayCalculator::compute() per workload and thread count.
+  const auto suite = workloads::benchmark_suite();
+  const sim::ClusterSpec spec = sim::ClusterSpec::paper_prototype();
+  std::vector<PlanSample> plans;
+  for (const auto& w : suite) {
+    const core::JobProfile profile = core::JobProfile::from(w.dag, spec);
+    std::vector<Seconds> reference_delay;
+    for (int threads : thread_counts) {
+      core::CalculatorOptions copt;
+      copt.threads = threads;
+      const core::DelayCalculator calc(profile, copt);
+      // Warm-up plan (first-touch allocation of the thread-local scratch
+      // arenas), then the timed repetitions.
+      core::DelaySchedule sched = calc.compute();
+      constexpr int kReps = 5;
+      const auto t0 = Clock::now();
+      for (int r = 0; r < kReps; ++r) sched = calc.compute();
+      const double ms = ms_since(t0) / kReps;
+
+      if (reference_delay.empty()) reference_delay = sched.delay;
+      DS_CHECK_MSG(sched.delay == reference_delay,
+                   "planner result depends on thread count");
+
+      PlanSample s;
+      s.workload = w.name;
+      s.threads = threads;
+      s.ms_per_plan = ms;
+      s.evaluations = sched.evaluations;
+      s.memo_hits = sched.memo_hits;
+      s.evals_per_sec = 1000.0 * static_cast<double>(sched.evaluations) / ms;
+      plans.push_back(s);
+    }
+  }
+
+  // --- Replay: per-job planning fan-out over a synthetic trace slice.
+  trace::SyntheticTraceOptions topt;
+  topt.num_jobs = 200;
+  const auto jobs = trace::synthetic_trace(topt, 2018);
+  std::vector<ReplaySample> replays;
+  double reference_jct = -1;
+  for (int threads : thread_counts) {
+    trace::ReplayOptions ropt;
+    ropt.strategy = "DelayStage";
+    ropt.cluster.num_workers = 40;
+    ropt.threads = threads;
+    const auto t0 = Clock::now();
+    const trace::ReplayResult r = trace::replay(jobs, ropt, 7);
+    const double ms = ms_since(t0);
+
+    if (reference_jct < 0) reference_jct = r.mean_jct();
+    DS_CHECK_MSG(r.mean_jct() == reference_jct,
+                 "replay result depends on thread count");
+
+    ReplaySample s;
+    s.threads = threads;
+    s.jobs = jobs.size();
+    s.jobs_per_sec = 1000.0 * static_cast<double>(jobs.size()) / ms;
+    s.mean_jct = r.mean_jct();
+    replays.push_back(s);
+  }
+
+  // --- Human-readable report.
+  std::cout << "=== Planner throughput (DelayCalculator::compute) ===\n";
+  TablePrinter pt({"workload", "threads", "ms/plan", "evals", "memo hits",
+                   "evals/s"});
+  pt.set_precision(1);
+  for (const auto& s : plans) {
+    pt.add_row({s.workload, static_cast<std::int64_t>(s.threads), s.ms_per_plan,
+                static_cast<std::int64_t>(s.evaluations),
+                static_cast<std::int64_t>(s.memo_hits), s.evals_per_sec});
+  }
+  pt.print(std::cout);
+
+  std::cout << "\n=== Trace replay throughput (" << jobs.size()
+            << " jobs, DelayStage planning per job) ===\n";
+  TablePrinter rt({"threads", "jobs/s", "speedup vs 1T"});
+  rt.set_precision(2);
+  for (const auto& s : replays)
+    rt.add_row({static_cast<std::int64_t>(s.threads), s.jobs_per_sec,
+                s.jobs_per_sec / replays.front().jobs_per_sec});
+  rt.print(std::cout);
+
+  // --- Machine-readable report for tools/check_bench.py.
+  std::ofstream json(out_path);
+  json.precision(6);
+  json << "{\n  \"planner\": [\n";
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    const auto& s = plans[i];
+    json << "    {\"workload\": \"" << s.workload << "\", \"threads\": "
+         << s.threads << ", \"ms_per_plan\": " << s.ms_per_plan
+         << ", \"evaluations\": " << s.evaluations
+         << ", \"memo_hits\": " << s.memo_hits
+         << ", \"evals_per_sec\": " << s.evals_per_sec << "}"
+         << (i + 1 < plans.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"replay\": [\n";
+  for (std::size_t i = 0; i < replays.size(); ++i) {
+    const auto& s = replays[i];
+    json << "    {\"threads\": " << s.threads << ", \"jobs\": " << s.jobs
+         << ", \"jobs_per_sec\": " << s.jobs_per_sec
+         << ", \"mean_jct\": " << s.mean_jct << "}"
+         << (i + 1 < replays.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "\nwrote " << out_path << "\n";
+  return 0;
+}

@@ -1,6 +1,7 @@
 // Command-line front end: plan and simulate a job described by a spec file.
 //
 //   ./delaystage_cli plan <job.spec> [--cluster prototype|three_node]
+//                                    [--threads N]   # 0 = hardware concurrency
 //   ./delaystage_cli run  <job.spec> [--strategy Spark|AggShuffle|DelayStage|
 //                                      CriticalPathFirst] [--seed N]
 //                                    [--fail-rate P] [--max-attempts N]
@@ -85,10 +86,14 @@ ds::sim::NodeCrash parse_crash(const std::string& s) {
   return c;
 }
 
-int cmd_plan(const ds::dag::JobDag& job, const ds::sim::ClusterSpec& spec) {
+int cmd_plan(const ds::dag::JobDag& job, const ds::sim::ClusterSpec& spec,
+             int threads) {
   using namespace ds;
   const core::JobProfile profile = core::JobProfile::from(job, spec);
-  const core::DelaySchedule schedule = core::DelayCalculator(profile).compute();
+  core::CalculatorOptions copt;
+  copt.threads = threads;
+  const core::DelaySchedule schedule =
+      core::DelayCalculator(profile, copt).compute();
 
   std::cout << "# execution paths (descending solo time)\n";
   for (const auto& p : schedule.paths) {
@@ -183,7 +188,10 @@ int main(int argc, char** argv) {
                                     ? ds::dag::load_job_spec_file(argv[2])
                                     : ds::dag::load_job_spec_text(kDemoSpec);
     const auto spec = cluster_for(flag(argc, argv, "--cluster", "prototype"));
-    if (cmd == "plan") return cmd_plan(job, spec);
+    if (cmd == "plan") {
+      const int threads = std::atoi(flag(argc, argv, "--threads", "1").c_str());
+      return cmd_plan(job, spec, threads);
+    }
     if (cmd == "run") {
       const std::string strategy = flag(argc, argv, "--strategy", "DelayStage");
       const auto seed = static_cast<std::uint64_t>(

@@ -2,7 +2,9 @@
 // synthetic trace) and print the §2.1 parallel-stage statistics plus a
 // small cluster replay comparing Fuxi with DelayStage.
 //
-//   ./trace_analysis [batch_task.csv]
+//   ./trace_analysis [batch_task.csv] [--threads N]   # 0 = hw concurrency
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "trace/alibaba.h"
@@ -14,10 +16,19 @@
 int main(int argc, char** argv) {
   using namespace ds;
 
+  int threads = 1;
+  const char* trace_file = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = std::atoi(argv[++i]);
+    else
+      trace_file = argv[i];
+  }
+
   std::vector<trace::TraceJob> jobs;
-  if (argc > 1) {
+  if (trace_file != nullptr) {
     trace::AlibabaParseStats pstats;
-    jobs = trace::parse_batch_task_file(argv[1], &pstats);
+    jobs = trace::parse_batch_task_file(trace_file, &pstats);
     std::cout << "parsed " << pstats.rows << " rows -> " << jobs.size()
               << " usable jobs (" << pstats.dropped_jobs << " dropped, "
               << pstats.bad_rows << " malformed rows)\n\n";
@@ -55,6 +66,7 @@ int main(int argc, char** argv) {
     trace::ReplayOptions opt;
     opt.strategy = strategy;
     opt.cluster.num_workers = 400;
+    opt.threads = threads;
     const trace::ReplayResult r = trace::replay(sample, opt, 7);
     t.add_row({std::string(strategy), r.mean_jct(), r.mean_cpu_util(),
                r.mean_net_util()});

@@ -1,11 +1,12 @@
 #include "core/delay_calculator.h"
 
 #include <algorithm>
-#include <functional>
+#include <array>
 #include <numeric>
 
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace ds::core {
 
@@ -30,16 +31,30 @@ DelaySchedule DelayCalculator::compute() const {
   const dag::JobDag& dag = *profile_.dag;
   const ScheduleEvaluator eval(profile_, opt_.slot);
   const PerfModel& model = eval.model();
+  const auto n = static_cast<std::size_t>(dag.num_stages());
+
+  ThreadPool pool(opt_.threads);
+  ScoreMemo memo;
+  ScoreMemo* const memo_p = opt_.memoize ? &memo : nullptr;
+
+  // One scratch arena per thread (the pool's and the caller's), reused for
+  // every simulation this planner runs.
+  auto score_of = [&](const std::vector<Seconds>& delay) {
+    static thread_local EvalScratch tls;
+    return eval.score(delay, tls, memo_p);
+  };
 
   DelaySchedule out;
-  out.delay.assign(static_cast<std::size_t>(dag.num_stages()), 0.0);
+  out.delay.assign(n, 0.0);
 
   // Lines 1–3: execution paths, solo stage times ^t_k, initial path times.
   out.paths = dag::execution_paths(dag, opt_.max_paths);
   if (out.paths.empty()) {
-    const Evaluation ev = eval.evaluate(out.delay);
-    out.predicted_makespan = ev.parallel_end;
-    out.predicted_jct = ev.jct;
+    const Score s = score_of(out.delay);
+    out.predicted_makespan = s.makespan;
+    out.predicted_jct = s.jct;
+    out.evaluations = eval.evaluations();
+    out.memo_hits = memo.hits();
     return out;  // no parallel stages — nothing to delay
   }
   std::vector<Seconds> path_time(out.paths.size(), 0.0);
@@ -74,39 +89,37 @@ DelaySchedule DelayCalculator::compute() const {
     }
   }
 
-  // Objective: the makespan of the parallel region (Eq. 4), with JCT as a
-  // tie-break so equal-makespan schedules still prefer the shorter job.
-  struct Score {
-    Seconds makespan;
-    Seconds jct;
-    bool better_than(const Score& o) const {
-      if (makespan < o.makespan - 1e-9) return true;
-      if (makespan > o.makespan + 1e-9) return false;
-      return jct < o.jct - 1e-9;
-    }
-  };
-  auto score = [&]() {
-    const Evaluation ev_r = eval.evaluate(out.delay);
-    return Score{ev_r.parallel_end, ev_r.jct};
-  };
-
-  std::vector<bool> scheduled(static_cast<std::size_t>(dag.num_stages()), false);
-  auto try_candidates = [&](dag::StageId k, Seconds lo, Seconds hi, Seconds step,
-                            Seconds& best_x, Score& best) {
-    for (Seconds x = lo; x <= hi + 1e-9; x += step) {
-      out.delay[static_cast<std::size_t>(k)] = x;
-      const Score s = score();
-      if (s.better_than(best)) {
-        best = s;
-        best_x = x;
+  // Scan the slotted grid [lo, hi] for stage k, all other delays fixed.
+  // Candidates are scored across the pool into per-index slots; the argmin
+  // reduction then walks the grid in ascending order with a strict
+  // comparison, so the winner (ties → smallest x) is the one the sequential
+  // scan would have kept, for any thread count.
+  auto scan_candidates = [&](dag::StageId k, Seconds lo, Seconds hi,
+                             Seconds step, std::vector<Seconds>& delay,
+                             Seconds& best_x, Score& best) {
+    std::vector<Seconds> xs;
+    for (Seconds x = lo; x <= hi + 1e-9; x += step) xs.push_back(x);
+    if (xs.empty()) return;
+    // Incremental scan: the simulation prefix before stage k's admission is
+    // shared across the whole grid; only each candidate's suffix runs (and
+    // those run on the pool). Scores come back in grid order.
+    std::vector<Score> scores;
+    eval.scan(delay, k, xs, scores, memo_p, &pool);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      if (scores[i].better_than(best)) {
+        best = scores[i];
+        best_x = xs[i];
       }
     }
   };
 
   // One greedy run of Alg. 1 (lines 5–21) plus coordinate-descent sweeps.
-  // `pinned[k]` freezes a stage at zero delay.
-  auto run_greedy = [&](const std::vector<bool>& pinned) {
-    Score t_max = score();
+  // `pinned[k]` freezes a stage at zero delay. `delay` is this restart's
+  // private state: restarts run concurrently.
+  auto run_greedy = [&](std::vector<Seconds>& delay,
+                        const std::vector<bool>& pinned) {
+    std::vector<bool> scheduled(n, false);
+    Score t_max = score_of(delay);
     for (int sweep = 0; sweep < opt_.sweeps; ++sweep) {
       std::fill(scheduled.begin(), scheduled.end(), false);
       for (std::size_t m : order) {
@@ -117,22 +130,24 @@ DelaySchedule DelayCalculator::compute() const {
 
           const Seconds uk = std::max(t_max.makespan, opt_.step);  // line 10
           Seconds best_x = 0;
-          // Re-baseline: x = 0 is always a candidate.
-          out.delay[static_cast<std::size_t>(k)] = 0;
-          Score best = score();
+          // Re-baseline: x = 0 is always a candidate (a memo hit whenever
+          // the stage already sat at zero).
+          delay[static_cast<std::size_t>(k)] = 0;
+          Score best = score_of(delay);
 
           if (opt_.coarse_to_fine) {
             const Seconds coarse = std::max(
                 opt_.step, uk / static_cast<double>(opt_.coarse_candidates));
-            try_candidates(k, coarse, uk, coarse, best_x, best);
+            scan_candidates(k, coarse, uk, coarse, delay, best_x, best);
+            // The refinement window re-visits best_x itself — a memo hit.
             const Seconds lo = std::max(0.0, best_x - coarse);
             const Seconds hi = std::min(uk, best_x + coarse);
-            try_candidates(k, lo, hi, opt_.step, best_x, best);
+            scan_candidates(k, lo, hi, opt_.step, delay, best_x, best);
           } else {
-            try_candidates(k, opt_.step, uk, opt_.step, best_x, best);
+            scan_candidates(k, opt_.step, uk, opt_.step, delay, best_x, best);
           }
 
-          out.delay[static_cast<std::size_t>(k)] = best_x;  // lines 16–18
+          delay[static_cast<std::size_t>(k)] = best_x;  // lines 16–18
           t_max = best;
         }
       }
@@ -150,32 +165,27 @@ DelaySchedule DelayCalculator::compute() const {
   //       the critical head's solo fetch (joint stagger).
   //   D — long path pinned; slack paths pipelined one behind another
   //       (cumulative stagger of their head fetches).
-  const std::vector<bool> no_pins(static_cast<std::size_t>(dag.num_stages()),
-                                  false);
-  std::vector<bool> pin_longest(static_cast<std::size_t>(dag.num_stages()),
-                                false);
+  const std::vector<bool> no_pins(n, false);
+  std::vector<bool> pin_longest(n, false);
   for (dag::StageId k : out.paths[order.front()].stages)
     pin_longest[static_cast<std::size_t>(k)] = true;
   const dag::StageId head = out.paths[order.front()].stages.front();
   const Seconds head_read = model.read_work(head) / model.read_rate_alone(head);
 
-  auto init_zero = [&] { std::fill(out.delay.begin(), out.delay.end(), 0.0); };
-  auto init_joint = [&] {
-    init_zero();
+  auto init_joint = [&](std::vector<Seconds>& delay) {
     for (const auto& p : out.paths)
       for (dag::StageId k : p.stages)
         if (!pin_longest[static_cast<std::size_t>(k)])
-          out.delay[static_cast<std::size_t>(k)] = head_read;
+          delay[static_cast<std::size_t>(k)] = head_read;
   };
-  auto init_pipelined = [&] {
-    init_zero();
+  auto init_pipelined = [&](std::vector<Seconds>& delay) {
     Seconds offset = head_read;
     for (std::size_t oi = 1; oi < order.size(); ++oi) {
       bool advanced = false;
       for (dag::StageId k : out.paths[order[oi]].stages) {
         const auto i = static_cast<std::size_t>(k);
-        if (pin_longest[i] || out.delay[i] > 0) continue;
-        out.delay[i] = offset;
+        if (pin_longest[i] || delay[i] > 0) continue;
+        delay[i] = offset;
         if (!advanced) {
           offset += model.read_work(k) / model.read_rate_alone(k);
           advanced = true;
@@ -184,33 +194,32 @@ DelaySchedule DelayCalculator::compute() const {
     }
   };
 
-  struct Restart {
-    std::function<void()> init;
-    const std::vector<bool>* pins;
+  // The restarts share nothing but the evaluator and the memo, so they run
+  // concurrently too; the winner is still chosen by a sequential pass in
+  // restart order.
+  struct RestartResult {
+    std::vector<Seconds> delay;
+    Score score;
   };
-  const Restart restarts[] = {
-      {init_zero, &no_pins},
-      {init_zero, &pin_longest},
-      {init_joint, &pin_longest},
-      {init_pipelined, &pin_longest},
-  };
-  std::vector<Seconds> best_delay;
-  Score best_score{0, 0};
-  bool have_best = false;
-  for (const Restart& r : restarts) {
-    r.init();
-    const Score s = run_greedy(*r.pins);
-    if (!have_best || s.better_than(best_score)) {
-      best_score = s;
-      best_delay = out.delay;
-      have_best = true;
-    }
-  }
-  out.delay = std::move(best_delay);
+  std::array<RestartResult, 4> results;
+  pool.parallel_for(results.size(), [&](std::size_t r) {
+    std::vector<Seconds> delay(n, 0.0);
+    const std::vector<bool>* pins = r == 0 ? &no_pins : &pin_longest;
+    if (r == 2) init_joint(delay);
+    if (r == 3) init_pipelined(delay);
+    const Score s = run_greedy(delay, *pins);
+    results[r] = RestartResult{std::move(delay), s};
+  });
+  std::size_t best_r = 0;
+  for (std::size_t r = 1; r < results.size(); ++r)
+    if (results[r].score.better_than(results[best_r].score)) best_r = r;
+  out.delay = std::move(results[best_r].delay);
 
-  const Evaluation final_ev = eval.evaluate(out.delay);
-  out.predicted_makespan = final_ev.parallel_end;
-  out.predicted_jct = final_ev.jct;
+  const Score final_score = score_of(out.delay);  // memo hit when enabled
+  out.predicted_makespan = final_score.makespan;
+  out.predicted_jct = final_score.jct;
+  out.evaluations = eval.evaluations();
+  out.memo_hits = memo.hits();
   return out;
 }
 

@@ -41,6 +41,18 @@ struct CalculatorOptions {
   // passes re-scan each stage with the others fixed (coordinate descent),
   // catching joint delays the single greedy pass cannot see.
   int sweeps = 2;
+  // Planner worker threads: candidate grids and the multi-start restarts are
+  // evaluated concurrently. 0 = hardware concurrency. The result is
+  // bit-identical for every thread count: candidates land in per-index
+  // slots and every argmin reduction runs sequentially in grid order (ties
+  // break towards the smallest x, exactly like the sequential scan).
+  int threads = 1;
+  // Cache delay-vector scores across the search. Alg. 1 re-baselines each
+  // stage at x = 0 (an already-scored vector) and the fine-refinement pass
+  // re-visits its own coarse best; the memo answers both without
+  // re-simulating. Scores are pure in the delay vector, so this never
+  // changes the result.
+  bool memoize = true;
 };
 
 struct DelaySchedule {
@@ -49,6 +61,10 @@ struct DelaySchedule {
   Seconds predicted_makespan = -1;  // parallel-region end under this X
   Seconds predicted_jct = -1;
   std::vector<dag::ExecutionPath> paths;  // the decomposition used
+  // Search-cost counters: slotted simulations actually run, and candidate
+  // scores answered from the memo instead.
+  std::uint64_t evaluations = 0;
+  std::uint64_t memo_hits = 0;
 };
 
 class DelayCalculator {

@@ -9,12 +9,37 @@
 // One evaluation yields every stage's completion time — exactly the "update
 // the completion time of the subsequent stages and of the scheduled stages
 // interfering with stage k" step (Alg. 1 line 14).
+//
+// This is the planner's innermost loop (Alg. 1 runs it for every candidate
+// delay), so it is built as a fast path:
+//   * every per-stage model constant (read/compute/write work, straggler
+//     factor and tail, usable parallelism) is computed once at construction;
+//   * all per-evaluation state lives in a reusable EvalScratch arena — a
+//     warm evaluate()/score() call allocates nothing;
+//   * slots in which no stage's allocation can change (delay gaps, straggler
+//     barriers, long constant-rate compute/write stretches) are fast-
+//     forwarded by applying the identical per-slot arithmetic in a tight
+//     loop instead of re-deriving the whole allocation, so results stay
+//     bit-identical to the naive slot-by-slot march;
+//   * a ScoreMemo lets callers skip re-simulating a delay vector they have
+//     already scored (Alg. 1 re-baselines at x=0 and its refinement pass
+//     re-visits coarse-grid points constantly).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "core/perf_model.h"
 #include "core/profile.h"
+
+namespace ds {
+class ThreadPool;
+}
 
 namespace ds::core {
 
@@ -34,21 +59,149 @@ struct Evaluation {
   Seconds parallel_end = -1;
 };
 
+// Model-score of a delay assignment: the parallel-region makespan Alg. 1
+// minimises (Eq. 4), with JCT as a tie-break so equal-makespan schedules
+// still prefer the shorter job.
+struct Score {
+  Seconds makespan = -1;
+  Seconds jct = -1;
+  bool better_than(const Score& o) const {
+    if (makespan < o.makespan - 1e-9) return true;
+    if (makespan > o.makespan + 1e-9) return false;
+    return jct < o.jct - 1e-9;
+  }
+};
+
+// Reusable per-evaluation arena. One instance per thread: evaluate()/score()
+// reuse its buffers call over call, so a warm evaluation performs no heap
+// allocation. Not thread-safe; cheap to default-construct.
+class EvalScratch {
+ public:
+  EvalScratch();
+  ~EvalScratch();
+  EvalScratch(EvalScratch&&) noexcept;
+  EvalScratch& operator=(EvalScratch&&) noexcept;
+
+ private:
+  friend class ScheduleEvaluator;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Thread-safe delay-vector → Score cache. Scores depend only on the
+// (evaluator, delay) pair, so a hit returns exactly what a fresh simulation
+// would; sharing one memo across planner threads therefore never changes
+// results, it only removes duplicate work. Keyed by the full delay vector.
+class ScoreMemo {
+ public:
+  std::optional<Score> find(const std::vector<Seconds>& delay) const;
+  // Inserts (moves the key); keeps the existing entry if one appeared
+  // concurrently.
+  void insert(std::vector<Seconds> delay, const Score& score);
+
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::size_t size() const;
+
+ private:
+  struct VecHash {
+    std::size_t operator()(const std::vector<Seconds>& v) const;
+  };
+  mutable std::mutex mu_;
+  std::unordered_map<std::vector<Seconds>, Score, VecHash> map_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+};
+
 class ScheduleEvaluator {
  public:
   explicit ScheduleEvaluator(const JobProfile& profile, Seconds slot = 1.0);
 
   // `delay[k]` = x_k relative to stage readiness; missing entries are 0.
   // Sequential stages may carry delays too (Alg. 1 never assigns them any).
+  // The scratch-less overload uses a per-thread arena, so it is safe to call
+  // concurrently from many threads on one evaluator.
   Evaluation evaluate(const std::vector<Seconds>& delay) const;
+  Evaluation evaluate(const std::vector<Seconds>& delay,
+                      EvalScratch& scratch) const;
+
+  // Score-only evaluation: no Evaluation is materialised and a warm scratch
+  // makes the call allocation-free. With a memo, an already-scored vector is
+  // answered from the cache without simulating.
+  Score score(const std::vector<Seconds>& delay, EvalScratch& scratch,
+              ScoreMemo* memo = nullptr) const;
+
+  // Incremental candidate scan (the planner's inner grid, Alg. 1 lines
+  // 10–15): scores `delay` with `delay[k] = x` for every x in `xs`
+  // (ascending). The simulation prefix before stage k's admission is
+  // identical for every candidate, so one base simulation advances with a
+  // pause barrier at each successive admission boundary and snapshots there;
+  // each candidate then only simulates its suffix (in parallel when a pool
+  // is given). Scores are bit-identical to scoring each vector with score(),
+  // for any pool size, and the memo is consulted/filled per candidate.
+  void scan(const std::vector<Seconds>& delay, dag::StageId k,
+            const std::vector<Seconds>& xs, std::vector<Score>& out,
+            ScoreMemo* memo = nullptr, ThreadPool* pool = nullptr) const;
 
   Seconds slot() const { return slot_; }
   const PerfModel& model() const { return model_; }
 
+  // Testing hook: disable the fast-forward path so the equivalence of the
+  // event-driven march and the naive slot-by-slot march can be asserted.
+  void set_fast_forward(bool on) { fast_forward_ = on; }
+
+  // Slotted simulations actually run on this evaluator (memo hits and other
+  // cache shortcuts excluded). Cumulative across threads.
+  std::uint64_t evaluations() const {
+    return evals_.load(std::memory_order_relaxed);
+  }
+  // Slot boundaries fully processed vs fast-forwarded. Cumulative across
+  // threads; their sum is the slot count a naive march would have paid.
+  std::uint64_t slots_stepped() const {
+    return stepped_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t slots_skipped() const {
+    return skipped_.load(std::memory_order_relaxed);
+  }
+
  private:
+  // Per-stage model constants, hoisted out of the per-evaluation loop.
+  struct StageConst {
+    Bytes read_total = 0;
+    Seconds compute_total = 0;
+    Bytes write_total = 0;
+    double par_cap = 0;
+    int num_tasks = 0;
+    Seconds tail = 0;
+    double straggler_quarter = 1;  // straggler^0.25 (read-span inflation)
+    int num_parents = 0;
+    bool is_source = false;
+  };
+
+  void run(const std::vector<Seconds>& delay, EvalScratch::Impl& sc) const;
+  void init_run(const std::vector<Seconds>& delay,
+                EvalScratch::Impl& sc) const;
+  // Advances the simulation until completion (returns true, finalising jct /
+  // parallel_end and flushing counters) or — when pause_k >= 0 — until the
+  // boundary that would admit stage pause_k (returns false with the state
+  // parked right before step 1 of that boundary).
+  bool march(const std::vector<Seconds>& delay, EvalScratch::Impl& sc,
+             dag::StageId pause_k) const;
+
   const JobProfile& profile_;
   PerfModel model_;
   Seconds slot_;
+  std::vector<StageConst> consts_;
+  std::vector<dag::StageId> k_set_;
+  Seconds budget_base_ = 0;
+  // Cluster-level rates (identical every evaluation).
+  double cluster_execs_ = 0;
+  BytesPerSec worker_net_ = 0;
+  BytesPerSec storage_net_ = 0;
+  BytesPerSec cluster_disk_ = 0;
+  double beta_ = 0;
+  bool fast_forward_ = true;
+  mutable std::atomic<std::uint64_t> evals_{0};
+  mutable std::atomic<std::uint64_t> stepped_{0};
+  mutable std::atomic<std::uint64_t> skipped_{0};
 };
 
 }  // namespace ds::core

@@ -8,6 +8,7 @@
 #include "core/evaluator.h"
 #include "core/profile.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace ds::trace {
 
@@ -66,6 +67,9 @@ JobModel model_job(const TraceJob& tj, const ReplayOptions& opt,
     copt.coarse_candidates = opt.coarse_candidates;
     copt.sweeps = opt.sweeps;
     copt.seed = seed;
+    // Parallelism lives at the job fan-out level; each planner runs
+    // single-threaded so replay threads compose instead of oversubscribing.
+    copt.threads = 1;
     delay = core::DelayCalculator(profile, copt).compute().delay;
   }
 
@@ -139,10 +143,14 @@ ReplayResult replay(const std::vector<TraceJob>& jobs,
                     const ReplayOptions& options, std::uint64_t seed) {
   DS_CHECK(!jobs.empty());
 
-  // 1) Dedicated-sub-cluster model per job.
+  // 1) Dedicated-sub-cluster model per job. Jobs are planned independently
+  //    (seeded by index, written to per-index slots), so the fan-out across
+  //    the pool is bit-identical to the sequential loop for any thread count.
   std::vector<JobModel> models(jobs.size());
-  for (std::size_t i = 0; i < jobs.size(); ++i)
+  ThreadPool pool(options.threads);
+  pool.parallel_for(jobs.size(), [&](std::size_t i) {
     models[i] = model_job(jobs[i], options, seed + i);
+  });
 
   // Whole-cluster capacities for the sharing/utilization accounting.
   const auto& cs = options.cluster;

@@ -40,6 +40,11 @@ struct ReplayOptions {
   int coarse_candidates = 12;
   int sweeps = 1;
   int evaluator_slots = 150;  // target #slots per evaluation
+  // Worker threads for the per-job planning fan-out (stage 1 of the replay).
+  // Each job's model is an independent computation seeded by (seed + index)
+  // and written to its own slot, so the result is bit-identical for any
+  // thread count. 0 = hardware concurrency.
+  int threads = 1;
 };
 
 struct ReplayJobResult {

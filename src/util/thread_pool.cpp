@@ -1,0 +1,129 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/check.h"
+
+namespace ds {
+
+// Shared bookkeeping of one parallel_for call. Workers and the caller pull
+// indices from `next`; `live` counts helper lanes that still hold a reference
+// to `fn`. The caller cancels helpers that never started (see parallel_for),
+// so `live` can only be held up by helpers actually executing — which always
+// finish — never by queue entries starved of a worker. That property makes
+// nested parallel_for calls deadlock-free.
+struct ThreadPool::ForState {
+  std::atomic<std::size_t> next{0};
+  std::atomic<int> live{0};  // helpers running or queued (pre-cancellation)
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::mutex mu;
+  std::condition_variable done;
+  std::exception_ptr error;
+
+  void drain() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+      }
+    }
+  }
+
+  void finish_helper(int count = 1) {
+    if (live.fetch_sub(count, std::memory_order_acq_rel) == count) {
+      std::lock_guard<std::mutex> lock(mu);
+      done.notify_all();
+    }
+  }
+};
+
+int ThreadPool::resolve_threads(int threads) {
+  if (threads > 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads) : size_(resolve_threads(threads)) {
+  // size_ - 1 workers: the caller is always the size_-th lane.
+  for (int i = 1; i < size_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<ForState> state;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      state = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    state->drain();
+    state->finish_helper();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (size_ <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  state->fn = &fn;
+
+  // One helper per worker lane, capped by the iteration count; the caller
+  // takes the remaining lane. Helpers that find the counter exhausted exit
+  // immediately, so over-provisioning is harmless.
+  const int helpers =
+      static_cast<int>(std::min<std::size_t>(workers_.size(), n - 1));
+  state->live.store(helpers, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DS_CHECK_MSG(!stop_, "parallel_for on a stopped pool");
+    for (int h = 0; h < helpers; ++h) queue_.push_back(state);
+  }
+  cv_.notify_all();
+
+  state->drain();
+
+  // Cancel helpers still sitting in the queue (all indices are consumed, so
+  // they would be no-ops anyway); then wait only for helpers that actually
+  // started. This keeps nested calls from waiting on queue entries that can
+  // never be scheduled while every worker is busy with an outer task.
+  int cancelled = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = std::remove(queue_.begin(), queue_.end(), state);
+    cancelled = static_cast<int>(std::distance(it, queue_.end()));
+    queue_.erase(it, queue_.end());
+  }
+  if (cancelled > 0) state->finish_helper(cancelled);
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&] {
+    return state->live.load(std::memory_order_acquire) == 0;
+  });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace ds

@@ -1,0 +1,59 @@
+// Small fixed-size worker pool for the planner's fan-out loops.
+//
+// Design goals, in order: determinism, no deadlocks under nesting, zero
+// overhead at size 1. `parallel_for(n, fn)` runs fn(0..n-1) with the *caller
+// participating*: the calling thread drains the same index counter as the
+// workers, so a task that itself calls parallel_for (nested fan-out, e.g.
+// parallel restarts each scanning a candidate grid in parallel) always makes
+// progress even when every worker is busy — the pool can never deadlock on
+// itself. Results must be written to per-index slots; the iteration order is
+// unspecified but the index set is exactly [0, n), so any reduction done
+// afterwards in index order is bit-identical for every pool size.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ds {
+
+class ThreadPool {
+ public:
+  // threads <= 0 means std::thread::hardware_concurrency(). A pool of size 1
+  // spawns no workers at all: every call runs inline on the caller.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return size_; }
+
+  // Run fn(i) for every i in [0, n). Blocks until all indices completed.
+  // The caller executes indices too; workers help when free. The first
+  // exception thrown by any fn is rethrown on the caller (remaining indices
+  // are still consumed, so the pool stays usable).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  // Resolve a user-facing thread count: 0 → hardware concurrency, else max(1, t).
+  static int resolve_threads(int threads);
+
+ private:
+  struct ForState;
+
+  void worker_loop();
+
+  int size_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<ForState>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace ds

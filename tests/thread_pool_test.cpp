@@ -1,0 +1,94 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace ds {
+namespace {
+
+TEST(ThreadPool, ResolveThreads) {
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1);
+  EXPECT_EQ(ThreadPool::resolve_threads(1), 1);
+  EXPECT_EQ(ThreadPool::resolve_threads(6), 6);
+  EXPECT_EQ(ThreadPool::resolve_threads(-3),
+            ThreadPool::resolve_threads(0));
+}
+
+TEST(ThreadPool, SizeOneRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(4);
+  pool.parallel_for(ran.size(),
+                    [&](std::size_t i) { ran[i] = std::this_thread::get_id(); });
+  for (const auto& id : ran) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, EmptyRangeIsNoOp) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, PerIndexSlotsMatchSequential) {
+  // The contract the planner relies on: results written to per-index slots
+  // followed by an index-order reduction are identical for every pool size.
+  auto f = [](std::size_t i) { return static_cast<double>(i * i) + 0.5; };
+  std::vector<double> expect(257);
+  for (std::size_t i = 0; i < expect.size(); ++i) expect[i] = f(i);
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    std::vector<double> got(expect.size(), -1.0);
+    pool.parallel_for(got.size(), [&](std::size_t i) { got[i] = f(i); });
+    EXPECT_EQ(got, expect) << "pool size " << threads;
+  }
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // The planner nests fan-outs (parallel restarts each scanning a candidate
+  // grid). The caller participates in draining its own loop, so nesting on
+  // one pool must always make progress, even with more tasks than workers.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 57)
+                                     throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // Remaining indices were still consumed; the pool is reusable.
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 10);
+}
+
+}  // namespace
+}  // namespace ds

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Planner-throughput regression gate.
+
+Runs bench_planner_throughput (or takes an existing BENCH_planner.json) and
+compares it against the committed conservative baseline. A throughput metric
+more than --slack (default 20%) below its baseline floor fails the check.
+
+The baseline floors are deliberately pessimistic (about half of what a loaded
+single-core CI box measures) so the gate only trips on real regressions —
+e.g. losing the fast-forward path or the incremental scan — not on scheduler
+noise.
+
+Usage:
+  check_bench.py --bench build/bench/bench_planner_throughput
+  check_bench.py --json BENCH_planner.json [--baseline tools/bench_baseline.json]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def load_results(args):
+    if args.json:
+        with open(args.json) as f:
+            return json.load(f)
+    if not args.bench:
+        sys.exit("error: need --bench <binary> or --json <results.json>")
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "BENCH_planner.json")
+        subprocess.run([os.path.abspath(args.bench), out], check=True)
+        with open(out) as f:
+            return json.load(f)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench", help="bench_planner_throughput binary to run")
+    ap.add_argument("--json", help="existing BENCH_planner.json to check")
+    ap.add_argument(
+        "--baseline",
+        default=os.path.join(os.path.dirname(__file__), "bench_baseline.json"),
+    )
+    ap.add_argument(
+        "--slack",
+        type=float,
+        default=0.20,
+        help="allowed fraction below the baseline floor (default 0.20)",
+    )
+    args = ap.parse_args()
+
+    results = load_results(args)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    failures = []
+    checked = 0
+
+    def check(name, measured, floor):
+        nonlocal checked
+        checked += 1
+        limit = floor * (1.0 - args.slack)
+        ok = measured >= limit
+        print(
+            f"{'ok  ' if ok else 'FAIL'} {name}: {measured:.1f} "
+            f"(floor {floor:.1f}, limit {limit:.1f})"
+        )
+        if not ok:
+            failures.append(name)
+
+    plan_floors = baseline.get("planner_evals_per_sec", {})
+    for entry in results.get("planner", []):
+        if entry["threads"] != 1:
+            continue  # floors are calibrated for the single-thread path
+        floor = plan_floors.get(entry["workload"])
+        if floor is not None:
+            check(f"planner[{entry['workload']}] evals/s", entry["evals_per_sec"], floor)
+
+    replay_floor = baseline.get("replay_jobs_per_sec")
+    for entry in results.get("replay", []):
+        if entry["threads"] == 1 and replay_floor is not None:
+            check("replay jobs/s", entry["jobs_per_sec"], replay_floor)
+
+    if checked == 0:
+        sys.exit("error: no metrics matched the baseline — wrong input?")
+    if failures:
+        print(f"\n{len(failures)} metric(s) regressed >"
+              f"{100 * args.slack:.0f}% below baseline: {', '.join(failures)}")
+        return 1
+    print(f"\nall {checked} metrics within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
