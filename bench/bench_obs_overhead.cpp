@@ -1,0 +1,125 @@
+// Observability overhead micro-benchmark: the same engine simulation timed
+// with obs off (null sink — compiled in but disabled), metrics only (live
+// registry handles, tracer disabled), and full (metrics + span tracing).
+// Writes BENCH_obs.json for tools/check_bench.py, which enforces both an
+// absolute throughput floor on the off mode and overhead ceilings (<3%) on
+// the instrumented modes.
+//
+//   ./bench_obs_overhead [output.json]
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "engine/job_run.h"
+#include "obs/obs.h"
+#include "sched/strategy.h"
+#include "sim/cluster.h"
+#include "util/check.h"
+#include "util/table.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Mode {
+  std::string name;
+  double seconds_per_rep = 0;  // min over reps: one rep = the whole suite
+  double runs_per_sec = 0;
+  double overhead_pct = 0;  // vs the off mode
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ds;
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_obs.json";
+  constexpr std::uint64_t kSeed = 42;
+  constexpr int kReps = 7;
+
+  const auto suite = workloads::benchmark_suite();
+  const sim::ClusterSpec spec = sim::ClusterSpec::paper_prototype();
+
+  // Pre-plan every workload once: the planner's cost is not what this bench
+  // measures, and the plan for a given (dag, spec, seed) is deterministic.
+  std::vector<engine::SubmissionPlan> plans;
+  for (const auto& w : suite) {
+    sim::Simulator sim;
+    sim::Cluster cluster(sim, spec, kSeed);
+    plans.push_back(sched::make_strategy("DelayStage")->plan(w.dag, cluster));
+  }
+
+  // One sink per instrumented mode, reused across reps so the steady state
+  // (warm rings, resolved cells) is what gets timed.
+  obs::TracerOptions full_topt;
+  full_topt.enabled = true;
+  obs::Observability metrics_only;
+  obs::Observability full(full_topt);
+  std::vector<Mode> modes = {{"off"}, {"metrics"}, {"full"}};
+  obs::Observability* sinks[] = {nullptr, &metrics_only, &full};
+
+  auto run_suite = [&](obs::Observability* obs) {
+    Seconds jct_sum = 0;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+      sim::Simulator sim(obs);
+      sim::Cluster cluster(sim, spec, kSeed, obs);
+      engine::RunOptions opt;
+      opt.plan = plans[i];
+      opt.seed = kSeed;
+      opt.obs = obs;
+      engine::JobRun run(cluster, suite[i].dag, opt);
+      run.start();
+      sim.run();
+      DS_CHECK(run.finished() && !run.result().failed);
+      jct_sum += run.result().jct;
+    }
+    return jct_sum;
+  };
+
+  // Interleave the modes across reps so drift (thermal, scheduler) spreads
+  // evenly instead of biasing whichever mode runs last; min-of-reps then
+  // discards the noise. The simulated JCTs must not depend on the mode —
+  // observability is passive by contract.
+  std::vector<double> best(modes.size(), 1e300);
+  double reference_jct = -1;
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+      const auto t0 = Clock::now();
+      const Seconds jct = run_suite(sinks[m]);
+      const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+      best[m] = std::min(best[m], s);
+      if (reference_jct < 0) reference_jct = jct;
+      DS_CHECK_MSG(jct == reference_jct, "simulation result depends on obs mode");
+    }
+  }
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    modes[m].seconds_per_rep = best[m];
+    modes[m].runs_per_sec = static_cast<double>(suite.size()) / best[m];
+    modes[m].overhead_pct = 100.0 * (best[m] - best[0]) / best[0];
+  }
+
+  TablePrinter t({"mode", "ms/suite", "runs/s", "overhead %"});
+  t.set_precision(2);
+  for (const auto& m : modes)
+    t.add_row({m.name, 1000.0 * m.seconds_per_rep, m.runs_per_sec,
+               m.overhead_pct});
+  t.print(std::cout);
+  std::cout << "traced events: " << full.tracer.recorded() << " ("
+            << full.tracer.dropped() << " dropped)\n";
+
+  std::ofstream json(out_path);
+  json.precision(6);
+  json << "{\n  \"obs\": [\n";
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    json << "    {\"mode\": \"" << modes[m].name
+         << "\", \"seconds_per_rep\": " << modes[m].seconds_per_rep
+         << ", \"runs_per_sec\": " << modes[m].runs_per_sec
+         << ", \"overhead_pct\": " << modes[m].overhead_pct << "}"
+         << (m + 1 < modes.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Shared command-line plumbing for the example CLIs, so delaystage_cli and
+// trace_analysis spell and validate --threads/--seed/--trace-out/--metrics-out
+// identically.
+//
+// ObsSink owns the per-invocation obs::Observability: construct it from the
+// parsed flags, hand sink.get() to CommonOptions::obs, and call flush() once
+// the run finishes to write the Chrome trace (load via chrome://tracing or
+// https://ui.perfetto.dev) and the metrics JSON dump.
+#pragma once
+
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "obs/obs.h"
+
+namespace ds::cli {
+
+inline bool has_flag(int argc, char** argv, const std::string& name) {
+  for (int i = 1; i < argc; ++i)
+    if (name == argv[i]) return true;
+  return false;
+}
+
+inline std::string flag(int argc, char** argv, const std::string& name,
+                        const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (name == argv[i]) return argv[i + 1];
+  if (has_flag(argc, argv, name))
+    throw std::runtime_error(name + " needs a value");
+  return fallback;
+}
+
+// Every occurrence of a repeatable flag, in order.
+inline std::vector<std::string> flags(int argc, char** argv,
+                                      const std::string& name) {
+  std::vector<std::string> out;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (name == argv[i]) out.push_back(argv[i + 1]);
+  return out;
+}
+
+inline long long int_flag(int argc, char** argv, const std::string& name,
+                          long long fallback) {
+  const std::string s = flag(argc, argv, name, "");
+  if (s.empty()) return fallback;
+  std::size_t pos = 0;
+  long long v = 0;
+  try {
+    v = std::stoll(s, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != s.size())
+    throw std::runtime_error(name + " wants an integer, got '" + s + "'");
+  return v;
+}
+
+inline double num_flag(int argc, char** argv, const std::string& name,
+                       double fallback) {
+  const std::string s = flag(argc, argv, name, "");
+  if (s.empty()) return fallback;
+  std::size_t pos = 0;
+  double v = 0;
+  try {
+    v = std::stod(s, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != s.size())
+    throw std::runtime_error(name + " wants a number, got '" + s + "'");
+  return v;
+}
+
+// The flags every CLI shares. threads/seed feed ds::CommonOptions; the two
+// output paths decide whether an Observability sink is created at all.
+struct CommonFlags {
+  int threads = 1;
+  std::uint64_t seed = 42;
+  std::string trace_out;    // Chrome trace_event JSON; empty = no tracing
+  std::string metrics_out;  // metrics registry JSON; empty = no dump
+
+  bool want_obs() const { return !trace_out.empty() || !metrics_out.empty(); }
+
+  void apply(CommonOptions& opt) const {
+    opt.threads = threads;
+    opt.seed = seed;
+  }
+};
+
+inline CommonFlags parse_common_flags(int argc, char** argv,
+                                      std::uint64_t default_seed = 42) {
+  CommonFlags f;
+  f.threads = static_cast<int>(int_flag(argc, argv, "--threads", 1));
+  const long long seed = int_flag(
+      argc, argv, "--seed", static_cast<long long>(default_seed));
+  if (seed < 0) throw std::runtime_error("--seed must be >= 0");
+  f.seed = static_cast<std::uint64_t>(seed);
+  f.trace_out = flag(argc, argv, "--trace-out", "");
+  f.metrics_out = flag(argc, argv, "--metrics-out", "");
+  return f;
+}
+
+// Owns the Observability for one CLI invocation. The tracer is enabled only
+// when a trace file was requested; metrics handles are live whenever the sink
+// exists (a registry dump costs nothing until exported).
+class ObsSink {
+ public:
+  explicit ObsSink(const CommonFlags& f)
+      : trace_out_(f.trace_out), metrics_out_(f.metrics_out) {
+    if (f.want_obs()) {
+      obs::TracerOptions topt;
+      topt.enabled = !f.trace_out.empty();
+      obs_ = std::make_unique<obs::Observability>(topt);
+    }
+  }
+
+  // nullptr when no observability was requested — zero overhead downstream.
+  obs::Observability* get() { return obs_.get(); }
+
+  // Write whichever outputs were requested; throws on IO failure.
+  void flush() {
+    if (obs_ == nullptr) return;
+    if (!trace_out_.empty()) {
+      std::ofstream out(trace_out_);
+      if (!out) throw std::runtime_error("cannot write " + trace_out_);
+      obs_->tracer.write_chrome_json(out);
+      if (!out) throw std::runtime_error("failed writing " + trace_out_);
+    }
+    if (!metrics_out_.empty()) {
+      std::ofstream out(metrics_out_);
+      if (!out) throw std::runtime_error("cannot write " + metrics_out_);
+      obs_->metrics.write_json(out);
+      if (!out) throw std::runtime_error("failed writing " + metrics_out_);
+    }
+  }
+
+ private:
+  std::string trace_out_;
+  std::string metrics_out_;
+  std::unique_ptr<obs::Observability> obs_;
+};
+
+}  // namespace ds::cli

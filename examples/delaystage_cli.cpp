@@ -2,6 +2,7 @@
 //
 //   ./delaystage_cli plan <job.spec> [--cluster prototype|three_node]
 //                                    [--threads N]   # 0 = hardware concurrency
+//                                    [--seed N]
 //   ./delaystage_cli run  <job.spec> [--strategy Spark|AggShuffle|DelayStage|
 //                                      CriticalPathFirst] [--seed N]
 //                                    [--fail-rate P] [--max-attempts N]
@@ -9,6 +10,13 @@
 //                                    [--crash-rate R --horizon S]
 //                                    [--mean-downtime S]
 //   ./delaystage_cli demo                 # print a sample spec
+//
+// Observability (both commands): --trace-out FILE writes a Chrome
+// trace_event JSON (open in chrome://tracing or https://ui.perfetto.dev);
+// --metrics-out FILE dumps the metrics registry as JSON. `plan` traces the
+// planner's wall-clock phases plus the predicted stage timeline; `run`
+// traces the simulated stage/task lifecycle per worker slot and the
+// cluster-utilization counters.
 //
 // Fault flags: --fail-rate aborts each task attempt with probability P;
 // --crash schedules a worker crash at time T (rejoining after DOWN seconds,
@@ -25,11 +33,14 @@
 #include <string>
 #include <vector>
 
+#include "cli_flags.h"
 #include "core/delay_calculator.h"
+#include "core/evaluator.h"
 #include "core/profile.h"
 #include "core/stage_delayer.h"
 #include "dag/serialize.h"
 #include "engine/job_run.h"
+#include "metrics/sampler.h"
 #include "sched/strategy.h"
 #include "sim/cluster.h"
 #include "sim/faults.h"
@@ -54,21 +65,6 @@ ds::sim::ClusterSpec cluster_for(const std::string& name) {
   return ds::sim::ClusterSpec::paper_prototype();
 }
 
-std::string flag(int argc, char** argv, const std::string& name,
-                 const std::string& fallback) {
-  for (int i = 0; i + 1 < argc; ++i)
-    if (name == argv[i]) return argv[i + 1];
-  return fallback;
-}
-
-// Every occurrence of a repeatable flag, in order.
-std::vector<std::string> flags(int argc, char** argv, const std::string& name) {
-  std::vector<std::string> out;
-  for (int i = 0; i + 1 < argc; ++i)
-    if (name == argv[i]) out.push_back(argv[i + 1]);
-  return out;
-}
-
 // "NODE@T" or "NODE@T@DOWNTIME" → a scheduled crash.
 ds::sim::NodeCrash parse_crash(const std::string& s) {
   ds::sim::NodeCrash c;
@@ -86,14 +82,45 @@ ds::sim::NodeCrash parse_crash(const std::string& s) {
   return c;
 }
 
+// The schedule the planner predicts, rendered onto the trace's stage track
+// so plan-time and run-time timelines line up in the same viewer.
+void trace_predicted_timeline(ds::obs::Tracer* tr,
+                              const ds::dag::JobDag& job,
+                              const ds::core::JobProfile& profile,
+                              const ds::core::DelaySchedule& schedule,
+                              ds::Seconds slot) {
+  using namespace ds;
+  if (tr == nullptr) return;
+  const core::Evaluation ev =
+      core::ScheduleEvaluator(profile, slot).evaluate(schedule.delay);
+  tr->set_process_name(obs::kJobPid, "predicted stages");
+  for (dag::StageId s = 0; s < job.num_stages(); ++s) {
+    const auto& t = ev.stages[static_cast<std::size_t>(s)];
+    const char* name = tr->intern(job.stage(s).name);
+    tr->set_thread_name(obs::kJobPid, s, name);
+    if (t.submitted > t.ready)
+      tr->complete("predicted", "delay", t.ready, t.submitted - t.ready,
+                   obs::kJobPid, s, "delay_s", t.submitted - t.ready);
+    tr->complete("predicted", "fetch", t.submitted, t.read_done - t.submitted,
+                 obs::kJobPid, s);
+    tr->complete("predicted", "compute", t.read_done,
+                 t.compute_done - t.read_done, obs::kJobPid, s);
+    tr->complete("predicted", "write", t.compute_done,
+                 t.finish - t.compute_done, obs::kJobPid, s);
+  }
+}
+
 int cmd_plan(const ds::dag::JobDag& job, const ds::sim::ClusterSpec& spec,
-             int threads) {
+             const ds::cli::CommonFlags& cf, ds::cli::ObsSink& sink) {
   using namespace ds;
   const core::JobProfile profile = core::JobProfile::from(job, spec);
   core::CalculatorOptions copt;
-  copt.threads = threads;
+  cf.apply(copt);
+  copt.obs = sink.get();
   const core::DelaySchedule schedule =
       core::DelayCalculator(profile, copt).compute();
+  trace_predicted_timeline(obs::tracer(sink.get()), job, profile, schedule,
+                           copt.slot);
 
   std::cout << "# execution paths (descending solo time)\n";
   for (const auto& p : schedule.paths) {
@@ -110,20 +137,35 @@ int cmd_plan(const ds::dag::JobDag& job, const ds::sim::ClusterSpec& spec,
 int cmd_run(const ds::dag::JobDag& job, const ds::sim::ClusterSpec& spec,
             const std::string& strategy_name, std::uint64_t seed,
             const ds::engine::RunOptions& base_opt,
-            const ds::sim::FaultPlan& faults) {
+            const ds::sim::FaultPlan& faults, ds::cli::ObsSink& sink) {
   using namespace ds;
-  sim::Simulator sim;
-  sim::Cluster cluster(sim, spec, seed);
+  sim::Simulator sim(sink.get());
+  sim::Cluster cluster(sim, spec, seed, sink.get());
   auto strategy = sched::make_strategy(strategy_name);
   engine::RunOptions opt = base_opt;
   opt.plan = strategy->plan(job, cluster);
   opt.seed = seed;
+  opt.obs = sink.get();
   sim::FaultInjector injector(cluster, faults, seed);
   if (!faults.empty()) opt.faults = &injector;
   engine::JobRun run(cluster, job, opt);
+  obs::Tracer* const tr = obs::tracer(sink.get());
+  metrics::UtilizationSampler sampler(cluster, 1.0);
+  if (tr != nullptr) sampler.start();
   if (!faults.empty()) injector.start();
   run.start();
   while (!run.finished() && sim.step()) {
+  }
+  if (tr != nullptr) {
+    sampler.stop();
+    const auto& cpu = sampler.cluster_cpu_util();
+    const auto& net = sampler.cluster_net_rx();
+    for (std::size_t i = 0; i < cpu.size(); ++i)
+      tr->counter("util", "cluster_cpu_pct", cpu.time(i), obs::kJobPid,
+                  cpu.value(i));
+    for (std::size_t i = 0; i < net.size(); ++i)
+      tr->counter("util", "cluster_net_mbps", net.time(i), obs::kJobPid,
+                  net.value(i));
   }
 
   if (!run.finished()) {
@@ -184,36 +226,37 @@ int main(int argc, char** argv) {
     return 0;
   }
   try {
-    const ds::dag::JobDag job = argc > 2 && argv[2][0] != '-'
-                                    ? ds::dag::load_job_spec_file(argv[2])
-                                    : ds::dag::load_job_spec_text(kDemoSpec);
-    const auto spec = cluster_for(flag(argc, argv, "--cluster", "prototype"));
+    using namespace ds;
+    const dag::JobDag job = argc > 2 && argv[2][0] != '-'
+                                ? dag::load_job_spec_file(argv[2])
+                                : dag::load_job_spec_text(kDemoSpec);
+    const auto spec =
+        cluster_for(cli::flag(argc, argv, "--cluster", "prototype"));
+    const cli::CommonFlags cf = cli::parse_common_flags(argc, argv);
+    cli::ObsSink sink(cf);
+    int rc = 2;
     if (cmd == "plan") {
-      const int threads = std::atoi(flag(argc, argv, "--threads", "1").c_str());
-      return cmd_plan(job, spec, threads);
-    }
-    if (cmd == "run") {
-      const std::string strategy = flag(argc, argv, "--strategy", "DelayStage");
-      const auto seed = static_cast<std::uint64_t>(
-          std::strtoull(flag(argc, argv, "--seed", "42").c_str(), nullptr, 10));
-      ds::engine::RunOptions opt;
-      opt.task_failure_rate =
-          std::atof(flag(argc, argv, "--fail-rate", "0").c_str());
+      rc = cmd_plan(job, spec, cf, sink);
+    } else if (cmd == "run") {
+      const std::string strategy =
+          cli::flag(argc, argv, "--strategy", "DelayStage");
+      engine::RunOptions opt;
+      opt.task_failure_rate = cli::num_flag(argc, argv, "--fail-rate", 0);
       opt.max_attempts =
-          std::atoi(flag(argc, argv, "--max-attempts", "4").c_str());
-      ds::sim::FaultPlan faults;
-      for (const auto& c : flags(argc, argv, "--crash"))
+          static_cast<int>(cli::int_flag(argc, argv, "--max-attempts", 4));
+      sim::FaultPlan faults;
+      for (const auto& c : cli::flags(argc, argv, "--crash"))
         faults.crashes.push_back(parse_crash(c));
-      faults.crash_rate =
-          std::atof(flag(argc, argv, "--crash-rate", "0").c_str());
-      faults.crash_horizon =
-          std::atof(flag(argc, argv, "--horizon", "0").c_str());
-      faults.mean_downtime =
-          std::atof(flag(argc, argv, "--mean-downtime", "-1").c_str());
-      return cmd_run(job, spec, strategy, seed, opt, faults);
+      faults.crash_rate = cli::num_flag(argc, argv, "--crash-rate", 0);
+      faults.crash_horizon = cli::num_flag(argc, argv, "--horizon", 0);
+      faults.mean_downtime = cli::num_flag(argc, argv, "--mean-downtime", -1);
+      rc = cmd_run(job, spec, strategy, cf.seed, opt, faults, sink);
+    } else {
+      std::cerr << "unknown command '" << cmd << "'\n";
+      return 2;
     }
-    std::cerr << "unknown command '" << cmd << "'\n";
-    return 2;
+    sink.flush();
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

@@ -3,10 +3,15 @@
 // small cluster replay comparing Fuxi with DelayStage.
 //
 //   ./trace_analysis [batch_task.csv] [--threads N]   # 0 = hw concurrency
-#include <cstdlib>
+//                    [--seed N]                       # replay seed
+//                    [--trace-out FILE] [--metrics-out FILE]
+//
+// --trace-out/--metrics-out capture the per-job planner phases and search
+// counters of the replay's DelayStage pass (chrome://tracing loadable).
 #include <cstring>
 #include <iostream>
 
+#include "cli_flags.h"
 #include "trace/alibaba.h"
 #include "trace/replay.h"
 #include "trace/stats.h"
@@ -16,62 +21,72 @@
 int main(int argc, char** argv) {
   using namespace ds;
 
-  int threads = 1;
-  const char* trace_file = nullptr;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
-      threads = std::atoi(argv[++i]);
-    else
+  try {
+    const cli::CommonFlags cf = cli::parse_common_flags(argc, argv, 7);
+    cli::ObsSink sink(cf);
+    const char* trace_file = nullptr;
+    for (int i = 1; i < argc; ++i) {
+      if (argv[i][0] == '-') {
+        ++i;  // all our flags take a value
+        continue;
+      }
       trace_file = argv[i];
-  }
+    }
 
-  std::vector<trace::TraceJob> jobs;
-  if (trace_file != nullptr) {
-    trace::AlibabaParseStats pstats;
-    jobs = trace::parse_batch_task_file(trace_file, &pstats);
-    std::cout << "parsed " << pstats.rows << " rows -> " << jobs.size()
-              << " usable jobs (" << pstats.dropped_jobs << " dropped, "
-              << pstats.bad_rows << " malformed rows)\n\n";
-  } else {
-    std::cout << "no trace file given; generating a synthetic trace\n\n";
-    trace::SyntheticTraceOptions opt;
-    opt.num_jobs = 2000;
-    jobs = trace::synthetic_trace(opt, 1);
-  }
-  if (jobs.empty()) {
-    std::cerr << "no jobs to analyse\n";
+    std::vector<trace::TraceJob> jobs;
+    if (trace_file != nullptr) {
+      trace::AlibabaParseStats pstats;
+      jobs = trace::parse_batch_task_file(trace_file, &pstats);
+      std::cout << "parsed " << pstats.rows << " rows -> " << jobs.size()
+                << " usable jobs (" << pstats.dropped_jobs << " dropped, "
+                << pstats.bad_rows << " malformed rows)\n\n";
+    } else {
+      std::cout << "no trace file given; generating a synthetic trace\n\n";
+      trace::SyntheticTraceOptions opt;
+      opt.num_jobs = 2000;
+      opt.seed = 1;  // the generator seed is fixed; --seed varies the replay
+      jobs = trace::synthetic_trace(opt);
+    }
+    if (jobs.empty()) {
+      std::cerr << "no jobs to analyse\n";
+      return 1;
+    }
+
+    const trace::TraceStats st = trace::analyze(jobs);
+    std::cout << "jobs:                        " << st.total_jobs << '\n'
+              << "stages:                      " << st.total_stages << '\n'
+              << "jobs with parallel stages:   "
+              << fmt(100.0 * st.parallel_job_fraction(), 1) << " %\n"
+              << "parallel stages overall:     "
+              << fmt(100.0 * st.parallel_stage_fraction(), 1) << " %\n"
+              << "median stages per job:       "
+              << fmt(st.stages_per_job.percentile(50), 1) << '\n';
+    if (!st.parallel_makespan_share.empty()) {
+      std::cout << "mean parallel makespan share: "
+                << fmt(st.parallel_makespan_share.mean(), 1) << " %\n";
+    }
+
+    // Replay a sample under both schedulers.
+    std::vector<trace::TraceJob> sample(
+        jobs.begin(), jobs.begin() + std::min<std::size_t>(jobs.size(), 300));
+    TablePrinter t({"strategy", "mean JCT (s)", "CPU util %", "net util %"});
+    t.set_precision(1);
+    for (const char* strategy : {"Fuxi", "DelayStage"}) {
+      trace::ReplayOptions opt;
+      opt.strategy = strategy;
+      opt.cluster.num_workers = 400;
+      cf.apply(opt);
+      opt.obs = sink.get();
+      const trace::ReplayResult r = trace::replay(sample, opt);
+      t.add_row({std::string(strategy), r.mean_jct(), r.mean_cpu_util(),
+                 r.mean_net_util()});
+    }
+    std::cout << '\n';
+    t.print(std::cout);
+    sink.flush();
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
     return 1;
   }
-
-  const trace::TraceStats st = trace::analyze(jobs);
-  std::cout << "jobs:                        " << st.total_jobs << '\n'
-            << "stages:                      " << st.total_stages << '\n'
-            << "jobs with parallel stages:   "
-            << fmt(100.0 * st.parallel_job_fraction(), 1) << " %\n"
-            << "parallel stages overall:     "
-            << fmt(100.0 * st.parallel_stage_fraction(), 1) << " %\n"
-            << "median stages per job:       "
-            << fmt(st.stages_per_job.percentile(50), 1) << '\n';
-  if (!st.parallel_makespan_share.empty()) {
-    std::cout << "mean parallel makespan share: "
-              << fmt(st.parallel_makespan_share.mean(), 1) << " %\n";
-  }
-
-  // Replay a sample under both schedulers.
-  std::vector<trace::TraceJob> sample(
-      jobs.begin(), jobs.begin() + std::min<std::size_t>(jobs.size(), 300));
-  TablePrinter t({"strategy", "mean JCT (s)", "CPU util %", "net util %"});
-  t.set_precision(1);
-  for (const char* strategy : {"Fuxi", "DelayStage"}) {
-    trace::ReplayOptions opt;
-    opt.strategy = strategy;
-    opt.cluster.num_workers = 400;
-    opt.threads = threads;
-    const trace::ReplayResult r = trace::replay(sample, opt, 7);
-    t.add_row({std::string(strategy), r.mean_jct(), r.mean_cpu_util(),
-               r.mean_net_util()});
-  }
-  std::cout << '\n';
-  t.print(std::cout);
-  return 0;
 }

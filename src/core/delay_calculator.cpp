@@ -4,6 +4,7 @@
 #include <array>
 #include <numeric>
 
+#include "obs/obs.h"
 #include "util/check.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -33,7 +34,20 @@ DelaySchedule DelayCalculator::compute() const {
   const PerfModel& model = eval.model();
   const auto n = static_cast<std::size_t>(dag.num_stages());
 
-  ThreadPool pool(opt_.threads);
+  // Observability: wall-clock phase spans on the planner track plus the
+  // search-cost counters published once at the end (never per candidate —
+  // the hot path stays contention-free). Disabled = all nullptrs/no-ops.
+  obs::Tracer* const tr = obs::tracer(opt_.obs);
+  const obs::WallSpan compute_span(tr, "planner", "compute", obs::kPlannerPid,
+                                   0, "stages", static_cast<double>(n));
+  auto publish = [&](const DelaySchedule& out) {
+    obs::counter(opt_.obs, "planner.runs").inc();
+    obs::counter(opt_.obs, "planner.evaluations").inc(out.evaluations);
+    obs::counter(opt_.obs, "planner.memo_hits").inc(out.memo_hits);
+    obs::gauge(opt_.obs, "planner.paths").set(static_cast<double>(out.paths.size()));
+  };
+
+  ThreadPool pool(opt_.resolved_threads());
   ScoreMemo memo;
   ScoreMemo* const memo_p = opt_.memoize ? &memo : nullptr;
 
@@ -55,6 +69,7 @@ DelaySchedule DelayCalculator::compute() const {
     out.predicted_jct = s.jct;
     out.evaluations = eval.evaluations();
     out.memo_hits = memo.hits();
+    publish(out);
     return out;  // no parallel stages — nothing to delay
   }
   std::vector<Seconds> path_time(out.paths.size(), 0.0);
@@ -96,10 +111,12 @@ DelaySchedule DelayCalculator::compute() const {
   // scan would have kept, for any thread count.
   auto scan_candidates = [&](dag::StageId k, Seconds lo, Seconds hi,
                              Seconds step, std::vector<Seconds>& delay,
-                             Seconds& best_x, Score& best) {
+                             Seconds& best_x, Score& best, int restart) {
     std::vector<Seconds> xs;
     for (Seconds x = lo; x <= hi + 1e-9; x += step) xs.push_back(x);
     if (xs.empty()) return;
+    const obs::WallSpan scan_span(tr, "planner", "scan", obs::kPlannerPid,
+                                  restart, "stage", static_cast<double>(k));
     // Incremental scan: the simulation prefix before stage k's admission is
     // shared across the whole grid; only each candidate's suffix runs (and
     // those run on the pool). Scores come back in grid order.
@@ -117,7 +134,9 @@ DelaySchedule DelayCalculator::compute() const {
   // `pinned[k]` freezes a stage at zero delay. `delay` is this restart's
   // private state: restarts run concurrently.
   auto run_greedy = [&](std::vector<Seconds>& delay,
-                        const std::vector<bool>& pinned) {
+                        const std::vector<bool>& pinned, int restart) {
+    const obs::WallSpan restart_span(tr, "planner", "restart", obs::kPlannerPid,
+                                     restart);
     std::vector<bool> scheduled(n, false);
     Score t_max = score_of(delay);
     for (int sweep = 0; sweep < opt_.sweeps; ++sweep) {
@@ -138,13 +157,14 @@ DelaySchedule DelayCalculator::compute() const {
           if (opt_.coarse_to_fine) {
             const Seconds coarse = std::max(
                 opt_.step, uk / static_cast<double>(opt_.coarse_candidates));
-            scan_candidates(k, coarse, uk, coarse, delay, best_x, best);
+            scan_candidates(k, coarse, uk, coarse, delay, best_x, best, restart);
             // The refinement window re-visits best_x itself — a memo hit.
             const Seconds lo = std::max(0.0, best_x - coarse);
             const Seconds hi = std::min(uk, best_x + coarse);
-            scan_candidates(k, lo, hi, opt_.step, delay, best_x, best);
+            scan_candidates(k, lo, hi, opt_.step, delay, best_x, best, restart);
           } else {
-            scan_candidates(k, opt_.step, uk, opt_.step, delay, best_x, best);
+            scan_candidates(k, opt_.step, uk, opt_.step, delay, best_x, best,
+                            restart);
           }
 
           delay[static_cast<std::size_t>(k)] = best_x;  // lines 16–18
@@ -207,7 +227,7 @@ DelaySchedule DelayCalculator::compute() const {
     const std::vector<bool>* pins = r == 0 ? &no_pins : &pin_longest;
     if (r == 2) init_joint(delay);
     if (r == 3) init_pipelined(delay);
-    const Score s = run_greedy(delay, *pins);
+    const Score s = run_greedy(delay, *pins, static_cast<int>(r));
     results[r] = RestartResult{std::move(delay), s};
   });
   std::size_t best_r = 0;
@@ -220,6 +240,7 @@ DelaySchedule DelayCalculator::compute() const {
   out.predicted_jct = final_score.jct;
   out.evaluations = eval.evaluations();
   out.memo_hits = memo.hits();
+  publish(out);
   return out;
 }
 

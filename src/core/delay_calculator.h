@@ -17,13 +17,23 @@
 #include <cstdint>
 
 #include "core/evaluator.h"
+#include "core/options.h"
 #include "dag/paths.h"
 
 namespace ds::core {
 
 enum class PathOrder { kDescending, kRandom, kAscending };
 
-struct CalculatorOptions {
+// CommonOptions supplies:
+//   threads — planner workers: candidate grids and the multi-start restarts
+//     are evaluated concurrently; <= 0 = hardware concurrency. The result is
+//     bit-identical for every thread count: candidates land in per-index
+//     slots and every argmin reduction runs sequentially in grid order (ties
+//     break towards the smallest x, exactly like the sequential scan).
+//   seed — used by PathOrder::kRandom only.
+//   obs — planner search counters (planner.evaluations, planner.memo_hits)
+//     and wall-clock phase spans (compute/restart/scan).
+struct CalculatorOptions : CommonOptions {
   PathOrder order = PathOrder::kDescending;
   // Candidate-delay grid width (the paper's "one second per slot").
   Seconds step = 1.0;
@@ -35,18 +45,11 @@ struct CalculatorOptions {
   // in |K| (Fig. 15). Set false for the paper's exhaustive slotted scan.
   bool coarse_to_fine = true;
   int coarse_candidates = 32;
-  std::uint64_t seed = 1;  // used by PathOrder::kRandom only
   std::size_t max_paths = 512;
   // Number of passes over the path list. Pass 1 is Alg. 1 verbatim; further
   // passes re-scan each stage with the others fixed (coordinate descent),
   // catching joint delays the single greedy pass cannot see.
   int sweeps = 2;
-  // Planner worker threads: candidate grids and the multi-start restarts are
-  // evaluated concurrently. 0 = hardware concurrency. The result is
-  // bit-identical for every thread count: candidates land in per-index
-  // slots and every argmin reduction runs sequentially in grid order (ties
-  // break towards the smallest x, exactly like the sequential scan).
-  int threads = 1;
   // Cache delay-vector scores across the search. Alg. 1 re-baselines each
   // stage at x = 0 (an already-scored vector) and the fine-refinement pass
   // re-visits its own coarse best; the memo answers both without

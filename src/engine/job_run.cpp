@@ -16,7 +16,21 @@ constexpr std::uint64_t kMaxNodes = 1u << 20;
 }  // namespace
 
 JobRun::JobRun(sim::Cluster& cluster, const dag::JobDag& dag, RunOptions opt)
-    : cluster_(cluster), dag_(dag), opt_(std::move(opt)), rng_(opt_.seed) {
+    : cluster_(cluster),
+      dag_(dag),
+      opt_(std::move(opt)),
+      rng_(opt_.seed),
+      trace_(obs::tracer(opt_.obs)),
+      m_tasks_launched_(obs::counter(opt_.obs, "engine.tasks_launched")),
+      m_tasks_finished_(obs::counter(opt_.obs, "engine.tasks_finished")),
+      m_task_aborts_(obs::counter(opt_.obs, "engine.task_aborts")),
+      m_fetch_failures_(obs::counter(opt_.obs, "engine.fetch_failures")),
+      m_node_crashes_(obs::counter(opt_.obs, "engine.node_crashes")),
+      m_resubmissions_(obs::counter(opt_.obs, "engine.stage_resubmissions")),
+      m_speculative_(obs::counter(opt_.obs, "engine.speculative_copies")),
+      m_stages_finished_(obs::counter(opt_.obs, "engine.stages_finished")),
+      m_task_seconds_(obs::histogram(opt_.obs, "engine.task_seconds",
+                                     obs::exponential_buckets(1.0, 1.6, 24))) {
   DS_CHECK_MSG(static_cast<std::uint64_t>(cluster.total_nodes()) < kMaxNodes,
                "cluster too large for push keys");
   DS_CHECK_MSG(opt_.task_failure_rate >= 0 && opt_.task_failure_rate < 1.0,
@@ -99,6 +113,20 @@ JobRun::JobRun(sim::Cluster& cluster, const dag::JobDag& dag, RunOptions opt)
     }
   }
   stages_remaining_ = dag_.num_stages();
+  if (trace_ != nullptr) {
+    // Track layout (see obs.h): stage lifecycle on pid 0 (one tid per
+    // stage), each worker node's slot lanes on pid 1+n.
+    trace_->set_process_name(obs::kJobPid, "stages");
+    stage_trace_names_.resize(n);
+    for (dag::StageId s = 0; s < dag_.num_stages(); ++s) {
+      stage_trace_names_[static_cast<std::size_t>(s)] =
+          trace_->intern(dag_.stage(s).name);
+      trace_->set_thread_name(obs::kJobPid, s, dag_.stage(s).name);
+    }
+    lanes_.resize(static_cast<std::size_t>(cluster_.num_workers()));
+    for (int w = 0; w < cluster_.num_workers(); ++w)
+      trace_->set_process_name(node_pid(w), "worker " + std::to_string(w));
+  }
   if (opt_.faults != nullptr) {
     fault_sub_ = opt_.faults->subscribe(
         [this](sim::NodeId w) { on_node_crashed(w); });
@@ -138,11 +166,38 @@ std::uint64_t JobRun::push_key(int task, sim::NodeId src) {
          static_cast<std::uint64_t>(src);
 }
 
+int JobRun::acquire_lane(sim::NodeId w) {
+  auto& lanes = lanes_[static_cast<std::size_t>(w)];
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    if (!lanes[i]) {
+      lanes[i] = true;
+      return static_cast<int>(i);
+    }
+  }
+  // Speculative copies can briefly exceed executors_per_worker rows; grow.
+  lanes.push_back(true);
+  return static_cast<int>(lanes.size()) - 1;
+}
+
+void JobRun::release_lane(sim::NodeId w, int lane) {
+  lanes_[static_cast<std::size_t>(w)][static_cast<std::size_t>(lane)] = false;
+}
+
+void JobRun::trace_phase(dag::StageId s, Attempt& at, const char* name) {
+  const Seconds now = cluster_.sim().now();
+  trace_->complete("task", name, at.phase_started, now - at.phase_started,
+                   node_pid(at.node), at.lane, "stage",
+                   static_cast<double>(s));
+  at.phase_started = now;
+}
+
 void JobRun::on_ready(dag::StageId s) {
   if (failed_) return;
   rec(s).ready = cluster_.sim().now();
   const Seconds delay = opt_.plan.delay_for(s);
   DS_CHECK_MSG(delay >= 0, "negative delay for stage " << s);
+  if (trace_ != nullptr)
+    trace_->instant("stage", "ready", rec(s).ready, obs::kJobPid, s);
   cluster_.sim().schedule_after(delay, [this, s] { submit_stage(s); });
 }
 
@@ -152,6 +207,13 @@ void JobRun::submit_stage(dag::StageId s) {
   DS_CHECK(!state.submitted);
   state.submitted = true;
   rec(s).submitted = cluster_.sim().now();
+  if (trace_ != nullptr) {
+    const Seconds delay = rec(s).submitted - rec(s).ready;
+    if (delay > 0)
+      trace_->complete("stage", "delay", rec(s).ready, delay, obs::kJobPid, s,
+                       "delay_s", delay);
+    trace_->instant("stage", "submit", rec(s).submitted, obs::kJobPid, s);
+  }
   // A crash during the submission delay may have invalidated parent output
   // this stage was about to read: park everything and demand the re-run.
   if (!parents_data_ready(s)) {
@@ -249,6 +311,11 @@ void JobRun::launch_attempt(dag::StageId s, int t, int a, sim::NodeId w) {
   at.live = true;
   at.node = w;
   at.started = cluster_.sim().now();
+  m_tasks_launched_.inc();
+  if (trace_ != nullptr) {
+    at.lane = acquire_lane(w);
+    at.phase_started = at.started;
+  }
 
   auto& tr = task(s, t);
   tr.node = w;
@@ -357,6 +424,7 @@ void JobRun::finish_read(dag::StageId s, int t, int a) {
   auto& tr = task(s, t);
   tr.read_done = cluster_.sim().now();
   rec(s).last_read_done = std::max(rec(s).last_read_done, tr.read_done);
+  if (trace_ != nullptr) trace_phase(s, at, "fetch");
 
   const dag::Stage& spec = dag_.stage(s);
   const Seconds compute = spec.compute_per_task() *
@@ -383,6 +451,7 @@ void JobRun::on_attempt_failed(dag::StageId s, int t, int a) {
   auto& at = attempt(s, t, a);
   DS_CHECK(at.live && at.computing);
   at.compute_event = sim::kInvalidEvent;  // the abort event just fired
+  m_task_aborts_.inc();
   const int aborts = ++state.aborts[static_cast<std::size_t>(t)];
   kill_attempt(s, t, a, /*node_lost=*/false);
   if (a == 1) state.spec_requested[static_cast<std::size_t>(t)] = false;
@@ -408,6 +477,7 @@ void JobRun::on_compute_done(dag::StageId s, int t, int a) {
   auto& tr = task(s, t);
   tr.compute_done = cluster_.sim().now();
   cluster_.end_compute(at.node);
+  if (trace_ != nullptr) trace_phase(s, at, "compute");
   const dag::Stage& spec = dag_.stage(s);
   const Bytes out =
       spec.output_per_task() * st(s).mult[static_cast<std::size_t>(t)];
@@ -428,6 +498,12 @@ void JobRun::on_write_done(dag::StageId s, int t, int a) {
   tr.node = at.node;  // the winning attempt's node
   state.finished_durations.push_back(tr.finish - at.started);
   state.success_span[static_cast<std::size_t>(t)] = tr.finish - at.started;
+  m_tasks_finished_.inc();
+  m_task_seconds_.observe(tr.finish - at.started);
+  if (trace_ != nullptr) {
+    trace_phase(s, at, "write");
+    release_lane(at.node, at.lane);
+  }
 
   const dag::Stage& spec = dag_.stage(s);
   const Bytes out = spec.output_per_task() * state.mult[static_cast<std::size_t>(t)];
@@ -455,6 +531,13 @@ void JobRun::kill_attempt(dag::StageId s, int t, int a, bool node_lost) {
   auto& state = st(s);
   auto& at = attempt(s, t, a);
   DS_CHECK(at.live);
+  if (trace_ != nullptr) {
+    trace_phase(s, at,
+                at.writing ? "write (killed)"
+                           : (at.computing ? "compute (killed)"
+                                           : "fetch (killed)"));
+    release_lane(at.node, at.lane);
+  }
   for (const auto& f : at.flows)
     if (!f.done) cluster_.fabric().cancel(f.id);
   if (at.compute_event != sim::kInvalidEvent)
@@ -488,6 +571,7 @@ void JobRun::maybe_speculate(dag::StageId s) {
     if (now - primary.started <= opt_.speculation_threshold * median) continue;
     state.spec_requested[ti] = true;
     ++speculative_attempts_;
+    m_speculative_.inc();
     cluster_.executors().request(
         [this, s, t](sim::NodeId w) { launch_attempt(s, t, 1, w); }, -1,
         opt_.plan.priority_for(s));
@@ -583,6 +667,9 @@ void JobRun::demand_parents(dag::StageId s) {
       r.finish = -1;
       ++stages_remaining_;
       ++r.resubmissions;
+      m_resubmissions_.inc();
+      if (trace_ != nullptr)
+        trace_->instant("stage", "resubmit", now, obs::kJobPid, p);
       ps.reopened_at = now;
       for (int t = 0; t < dag_.stage(p).num_tasks; ++t) {
         const auto ti = static_cast<std::size_t>(t);
@@ -609,6 +696,9 @@ void JobRun::demand_parents(dag::StageId s) {
 void JobRun::on_node_crashed(sim::NodeId w) {
   if (!started_ || result_.finished()) return;
   ++result_.node_crashes;
+  m_node_crashes_.inc();
+  if (trace_ != nullptr)
+    trace_->instant("fault", "node_crash", cluster_.sim().now(), node_pid(w), 0);
 
   // Pass 1 — the node's storage dies with it: invalidate the shuffle output
   // of every completed task that wrote on w. Tasks of still-running stages
@@ -664,6 +754,10 @@ void JobRun::on_node_crashed(sim::NodeId w) {
             if (!f.done && f.src == w) fetching = true;
           if (fetching) {
             ++result_.fetch_failures;
+            m_fetch_failures_.inc();
+            if (trace_ != nullptr)
+              trace_->instant("fault", "fetch_failure", cluster_.sim().now(),
+                              obs::kJobPid, s, "task", t);
             kill_attempt(s, t, a, /*node_lost=*/false);
             killed = true;
           }
@@ -713,6 +807,10 @@ void JobRun::finish_stage(dag::StageId s) {
   auto& state = st(s);
   auto& r = rec(s);
   r.finish = cluster_.sim().now();
+  m_stages_finished_.inc();
+  if (trace_ != nullptr)
+    trace_->complete("stage", stage_trace_names_[static_cast<std::size_t>(s)],
+                     r.submitted, r.finish - r.submitted, obs::kJobPid, s);
   if (state.reopened_at >= 0) {
     r.recovery_seconds += r.finish - state.reopened_at;
     state.reopened_at = -1;

@@ -53,20 +53,23 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/options.h"
 #include "dag/job.h"
 #include "engine/plan.h"
 #include "engine/records.h"
 #include "metrics/timeseries.h"
+#include "obs/obs.h"
 #include "sim/cluster.h"
 #include "sim/faults.h"
 #include "util/rng.h"
 
 namespace ds::engine {
 
-struct RunOptions {
+// CommonOptions supplies `seed` (per-task skew multipliers and fault
+// injection) and `obs` (task/stage metrics and the per-slot span trace);
+// `threads` is ignored — the engine is single-threaded by design.
+struct RunOptions : CommonOptions {
   SubmissionPlan plan;
-  // Seed for the per-task skew multipliers and fault injection.
-  std::uint64_t seed = 1;
   // Record per-stage executor occupancy (Fig. 13).
   bool record_occupancy = false;
   Seconds occupancy_dt = 1.0;
@@ -144,6 +147,10 @@ class JobRun {
     sim::EventId compute_event = sim::kInvalidEvent;
     bool writing = false;
     sim::ClaimId disk_claim = 0;
+    // Tracing only (trace_ != nullptr): the slot lane this attempt occupies
+    // on its node's trace track, and when its current phase began.
+    int lane = -1;
+    Seconds phase_started = -1;
   };
 
   struct StageState {
@@ -222,6 +229,18 @@ class JobRun {
   void on_node_crashed(sim::NodeId w);
   void fail_job(const std::string& reason);
 
+  // --- observability (passive; no-ops when opt_.obs is null) ---
+  // Chrome-trace pid of worker w's slot track.
+  static std::int32_t node_pid(sim::NodeId w) {
+    return obs::kNodePidBase + static_cast<std::int32_t>(w);
+  }
+  // Claim/return a per-node trace lane so concurrent attempts on one worker
+  // render as separate rows (the Fig. 12/13 occupancy timeline).
+  int acquire_lane(sim::NodeId w);
+  void release_lane(sim::NodeId w, int lane);
+  // Emit the attempt's current phase as a complete span ending now.
+  void trace_phase(dag::StageId s, Attempt& at, const char* name);
+
   StageState& st(dag::StageId s) { return st_[static_cast<std::size_t>(s)]; }
   const StageState& st(dag::StageId s) const {
     return st_[static_cast<std::size_t>(s)];
@@ -248,6 +267,20 @@ class JobRun {
   std::vector<metrics::TimeSeries> occupancy_;
   sim::EventId occupancy_event_ = sim::kInvalidEvent;
   sim::FaultInjector::SubscriptionId fault_sub_ = 0;
+
+  // Observability handles (disabled when opt_.obs is null).
+  obs::Tracer* trace_ = nullptr;
+  std::vector<const char*> stage_trace_names_;  // interned, tracing only
+  std::vector<std::vector<bool>> lanes_;        // per worker, tracing only
+  obs::Counter m_tasks_launched_;
+  obs::Counter m_tasks_finished_;
+  obs::Counter m_task_aborts_;
+  obs::Counter m_fetch_failures_;
+  obs::Counter m_node_crashes_;
+  obs::Counter m_resubmissions_;
+  obs::Counter m_speculative_;
+  obs::Counter m_stages_finished_;
+  obs::Histogram m_task_seconds_;
 };
 
 }  // namespace ds::engine

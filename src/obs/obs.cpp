@@ -1,0 +1,24 @@
+#include "obs/obs.h"
+
+namespace ds::obs {
+
+WallSpan::WallSpan(Tracer* tracer, const char* cat, const char* name,
+                   std::int32_t pid, std::int32_t tid, const char* arg_name,
+                   double arg_value)
+    : tracer_(tracer),
+      cat_(cat),
+      name_(name),
+      pid_(pid),
+      tid_(tid),
+      arg_name_(arg_name),
+      arg_value_(arg_value) {
+  if (tracer_ != nullptr) start_s_ = tracer_->wall_now_s();
+}
+
+WallSpan::~WallSpan() {
+  if (tracer_ == nullptr) return;
+  tracer_->complete(cat_, name_, start_s_, tracer_->wall_now_s() - start_s_,
+                    pid_, tid_, arg_name_, arg_value_);
+}
+
+}  // namespace ds::obs

@@ -47,7 +47,8 @@ ClusterSpec ClusterSpec::geo_two_sites() {
   return s;
 }
 
-Cluster::Cluster(Simulator& sim, const ClusterSpec& spec, std::uint64_t seed)
+Cluster::Cluster(Simulator& sim, const ClusterSpec& spec, std::uint64_t seed,
+                 obs::Observability* obs)
     : sim_(sim), spec_(spec) {
   DS_CHECK(spec.num_workers > 0);
   DS_CHECK(spec.executors_per_worker > 0);
@@ -68,11 +69,11 @@ Cluster::Cluster(Simulator& sim, const ClusterSpec& spec, std::uint64_t seed)
   }
   fabric_ = std::make_unique<NetworkFabric>(sim, std::move(nic), spec.loopback_bw,
                                             spec.congestion_penalty,
-                                            std::move(site_of), spec.wan_bw);
+                                            std::move(site_of), spec.wan_bw, obs);
 
   std::vector<int> slots(static_cast<std::size_t>(spec.num_workers),
                          spec.executors_per_worker);
-  executors_ = std::make_unique<ExecutorPool>(sim, std::move(slots));
+  executors_ = std::make_unique<ExecutorPool>(sim, std::move(slots), obs);
 
   disks_.reserve(static_cast<std::size_t>(spec.total_nodes()));
   for (int i = 0; i < spec.total_nodes(); ++i) {

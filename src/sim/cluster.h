@@ -62,8 +62,11 @@ struct ClusterSpec {
 
 class Cluster {
  public:
-  // `seed` fixes the per-node NIC bandwidth draw.
-  Cluster(Simulator& sim, const ClusterSpec& spec, std::uint64_t seed);
+  // `seed` fixes the per-node NIC bandwidth draw. `obs` (optional) is the
+  // observability sink the fabric and executor pool publish into; it must
+  // outlive the cluster and is passive (never changes simulation results).
+  Cluster(Simulator& sim, const ClusterSpec& spec, std::uint64_t seed,
+          obs::Observability* obs = nullptr);
 
   Simulator& sim() { return sim_; }
   const ClusterSpec& spec() const { return spec_; }

@@ -7,8 +7,15 @@
 
 namespace ds::sim {
 
-ExecutorPool::ExecutorPool(Simulator& sim, std::vector<int> slots_per_node)
-    : sim_(sim), slots_(std::move(slots_per_node)) {
+ExecutorPool::ExecutorPool(Simulator& sim, std::vector<int> slots_per_node,
+                           obs::Observability* obs)
+    : sim_(sim),
+      slots_(std::move(slots_per_node)),
+      requests_(obs::counter(obs, "exec.requests")),
+      grants_(obs::counter(obs, "exec.grants")),
+      queued_gauge_(obs::gauge(obs, "exec.queued")),
+      wait_seconds_(obs::histogram(obs, "exec.wait_seconds",
+                                   obs::exponential_buckets(0.1, 2.0, 20))) {
   DS_CHECK_MSG(!slots_.empty(), "executor pool needs at least one node");
   for (int s : slots_) DS_CHECK_MSG(s >= 0, "negative slot count");
   busy_.assign(slots_.size(), 0);
@@ -25,7 +32,10 @@ SlotRequestId ExecutorPool::request(std::function<void(NodeId)> granted,
   // lowest priority first, FIFO within a level (ids ascend).
   auto it = waiters_.end();
   while (it != waiters_.begin() && std::prev(it)->priority > priority) --it;
-  waiters_.insert(it, Waiter{id, std::move(granted), pinned_node, priority});
+  waiters_.insert(
+      it, Waiter{id, std::move(granted), pinned_node, priority, sim_.now()});
+  requests_.inc();
+  queued_gauge_.set(static_cast<double>(waiters_.size()));
   pump();
   return id;
 }
@@ -34,6 +44,7 @@ void ExecutorPool::cancel(SlotRequestId id) {
   for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
     if (it->id == id) {
       waiters_.erase(it);
+      queued_gauge_.set(static_cast<double>(waiters_.size()));
       return;
     }
   }
@@ -98,9 +109,12 @@ void ExecutorPool::pump() {
         continue;
       }
       ++busy_[static_cast<std::size_t>(target)];
+      grants_.inc();
+      wait_seconds_.observe(sim_.now() - it->requested_at);
       grants.emplace_back(std::move(it->granted), target);
       it = waiters_.erase(it);
     }
+    queued_gauge_.set(static_cast<double>(waiters_.size()));
     for (auto& [granted, node] : grants) granted(node);
   });
 }

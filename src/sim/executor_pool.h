@@ -23,7 +23,10 @@ using SlotRequestId = std::uint64_t;
 
 class ExecutorPool {
  public:
-  ExecutorPool(Simulator& sim, std::vector<int> slots_per_node);
+  // `obs` (optional) receives slot request/grant counters, the queue-depth
+  // gauge and the slot-wait histogram; must outlive the pool.
+  ExecutorPool(Simulator& sim, std::vector<int> slots_per_node,
+               obs::Observability* obs = nullptr);
 
   // Request one slot; `granted(node)` fires (via a zero-delay event) once a
   // slot is available. Waiters are served lowest `priority` first, FIFO
@@ -64,6 +67,7 @@ class ExecutorPool {
     std::function<void(NodeId)> granted;
     NodeId pinned_node;
     int priority;
+    SimTime requested_at;  // for the slot-wait histogram
   };
 
   void pump();  // grant as many waiters as free slots allow
@@ -75,6 +79,10 @@ class ExecutorPool {
   std::deque<Waiter> waiters_;
   SlotRequestId next_id_ = 1;
   bool pump_scheduled_ = false;
+  obs::Counter requests_;
+  obs::Counter grants_;
+  obs::Gauge queued_gauge_;
+  obs::Histogram wait_seconds_;
 };
 
 }  // namespace ds::sim

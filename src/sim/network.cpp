@@ -62,14 +62,22 @@ std::vector<double> max_min_allocate(const std::vector<FlowPorts>& flow_ports,
 
 NetworkFabric::NetworkFabric(Simulator& sim, std::vector<BytesPerSec> nic_bw,
                              BytesPerSec loopback_bw, double group_penalty,
-                             std::vector<int> site_of, BytesPerSec wan_bw)
+                             std::vector<int> site_of, BytesPerSec wan_bw,
+                             obs::Observability* obs)
     : sim_(sim),
       nic_bw_(std::move(nic_bw)),
       loopback_bw_(loopback_bw),
       group_penalty_(group_penalty),
       site_of_(std::move(site_of)),
       wan_bw_(wan_bw),
-      last_advance_(sim.now()) {
+      last_advance_(sim.now()),
+      flows_started_(obs::counter(obs, "net.flows_started")),
+      flows_completed_(obs::counter(obs, "net.flows_completed")),
+      bytes_delivered_(obs::gauge(obs, "net.bytes_delivered")),
+      flow_seconds_(obs::histogram(obs, "net.flow_seconds",
+                                   obs::exponential_buckets(0.05, 2.0, 22))),
+      flow_bytes_(obs::histogram(obs, "net.flow_bytes",
+                                 obs::exponential_buckets(1e5, 4.0, 18))) {
   DS_CHECK_MSG(!nic_bw_.empty(), "fabric needs at least one node");
   for (const auto bw : nic_bw_) DS_CHECK_MSG(bw > 0, "non-positive NIC bandwidth");
   DS_CHECK_MSG(loopback_bw_ > 0, "non-positive loopback bandwidth");
@@ -97,7 +105,9 @@ FlowId NetworkFabric::start_flow(FlowSpec spec) {
   advance_to_now();
   const FlowId id = next_id_++;
   flows_.emplace(id, Flow{spec.src, spec.dst, spec.bytes, spec.group, 0.0,
-                          std::move(spec.on_complete)});
+                          std::move(spec.on_complete), sim_.now()});
+  flows_started_.inc();
+  flow_bytes_.observe(spec.bytes);
   reallocate();
   reschedule();
   return id;
@@ -148,6 +158,7 @@ void NetworkFabric::advance_to_now() {
     f.remaining -= used;
     delivered_ += used;
   }
+  bytes_delivered_.set(delivered_);
 }
 
 void NetworkFabric::reallocate() {
@@ -246,6 +257,8 @@ void NetworkFabric::on_completion_event() {
   std::vector<std::pair<FlowId, std::function<void()>>> done;
   for (auto it = flows_.begin(); it != flows_.end();) {
     if (fluid_done(it->second.remaining, it->second.rate)) {
+      flows_completed_.inc();
+      flow_seconds_.observe(sim_.now() - it->second.started);
       done.emplace_back(it->first, std::move(it->second.on_complete));
       it = flows_.erase(it);
     } else {

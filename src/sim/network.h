@@ -59,9 +59,12 @@ class NetworkFabric {
   // `site_of[n]` (optional) assigns node n to a geo site; flows between
   // different sites additionally cross a per-site-pair WAN port of capacity
   // `wan_bw` — the geo-distributed setting §6 names as future work.
+  // `obs` (optional) receives flow counters and the flow-duration/volume
+  // histograms; must outlive the fabric.
   NetworkFabric(Simulator& sim, std::vector<BytesPerSec> nic_bw,
                 BytesPerSec loopback_bw, double group_penalty = 0.0,
-                std::vector<int> site_of = {}, BytesPerSec wan_bw = 0);
+                std::vector<int> site_of = {}, BytesPerSec wan_bw = 0,
+                obs::Observability* obs = nullptr);
   ~NetworkFabric();
   NetworkFabric(const NetworkFabric&) = delete;
   NetworkFabric& operator=(const NetworkFabric&) = delete;
@@ -99,6 +102,7 @@ class NetworkFabric {
     int group;
     BytesPerSec rate = 0;
     std::function<void()> on_complete;
+    SimTime started = 0;  // for the flow-duration histogram
   };
 
   int egress_port(NodeId n) const { return n; }
@@ -129,6 +133,11 @@ class NetworkFabric {
   SimTime last_advance_ = 0;
   EventId pending_event_ = kInvalidEvent;
   Bytes delivered_ = 0;
+  obs::Counter flows_started_;
+  obs::Counter flows_completed_;
+  obs::Gauge bytes_delivered_;
+  obs::Histogram flow_seconds_;
+  obs::Histogram flow_bytes_;
 };
 
 }  // namespace ds::sim

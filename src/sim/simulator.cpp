@@ -42,6 +42,7 @@ bool Simulator::step() {
   DS_CHECK(t >= now_ - 1e-9);
   now_ = std::max(now_, t);
   ++processed_;
+  events_counter_.inc();
   fn();
   return true;
 }

@@ -6,6 +6,7 @@
 
 #include <functional>
 
+#include "obs/obs.h"
 #include "sim/event_queue.h"
 #include "sim/time.h"
 
@@ -13,7 +14,10 @@ namespace ds::sim {
 
 class Simulator {
  public:
-  Simulator() = default;
+  // `obs` (optional) receives the "sim.events" counter; must outlive the
+  // simulator. Observability is passive — it never affects event order.
+  explicit Simulator(obs::Observability* obs = nullptr)
+      : events_counter_(obs::counter(obs, "sim.events")) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -40,6 +44,7 @@ class Simulator {
   EventQueue queue_;
   SimTime now_ = 0;
   std::size_t processed_ = 0;
+  obs::Counter events_counter_;
 };
 
 }  // namespace ds::sim

@@ -70,6 +70,7 @@ JobModel model_job(const TraceJob& tj, const ReplayOptions& opt,
     // Parallelism lives at the job fan-out level; each planner runs
     // single-threaded so replay threads compose instead of oversubscribing.
     copt.threads = 1;
+    copt.obs = opt.obs;
     delay = core::DelayCalculator(profile, copt).compute().delay;
   }
 
@@ -140,16 +141,16 @@ double ReplayResult::mean_job_net_util() const {
 }
 
 ReplayResult replay(const std::vector<TraceJob>& jobs,
-                    const ReplayOptions& options, std::uint64_t seed) {
+                    const ReplayOptions& options) {
   DS_CHECK(!jobs.empty());
 
   // 1) Dedicated-sub-cluster model per job. Jobs are planned independently
   //    (seeded by index, written to per-index slots), so the fan-out across
   //    the pool is bit-identical to the sequential loop for any thread count.
   std::vector<JobModel> models(jobs.size());
-  ThreadPool pool(options.threads);
+  ThreadPool pool(options.resolved_threads());
   pool.parallel_for(jobs.size(), [&](std::size_t i) {
-    models[i] = model_job(jobs[i], options, seed + i);
+    models[i] = model_job(jobs[i], options, options.seed + i);
   });
 
   // Whole-cluster capacities for the sharing/utilization accounting.

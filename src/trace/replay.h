@@ -26,7 +26,14 @@
 
 namespace ds::trace {
 
-struct ReplayOptions {
+// CommonOptions supplies:
+//   threads — workers for the per-job planning fan-out (stage 1 of the
+//     replay). Each job's model is an independent computation seeded by
+//     (seed + index) and written to its own slot, so the result is
+//     bit-identical for any thread count. <= 0 = hardware concurrency.
+//   seed — base seed; job i plans with seed + i.
+//   obs — forwarded into every per-job DelayCalculator.
+struct ReplayOptions : CommonOptions {
   // "Fuxi", "DelayStage", "random DelayStage", or "ascending DelayStage".
   std::string strategy = "Fuxi";
   sim::ClusterSpec cluster = sim::ClusterSpec::paper_simulation();
@@ -40,11 +47,6 @@ struct ReplayOptions {
   int coarse_candidates = 12;
   int sweeps = 1;
   int evaluator_slots = 150;  // target #slots per evaluation
-  // Worker threads for the per-job planning fan-out (stage 1 of the replay).
-  // Each job's model is an independent computation seeded by (seed + index)
-  // and written to its own slot, so the result is bit-identical for any
-  // thread count. 0 = hardware concurrency.
-  int threads = 1;
 };
 
 struct ReplayJobResult {
@@ -79,6 +81,14 @@ struct ReplayResult {
 };
 
 ReplayResult replay(const std::vector<TraceJob>& jobs,
-                    const ReplayOptions& options, std::uint64_t seed);
+                    const ReplayOptions& options);
+
+// Back-compat spelling from before seeds lived in CommonOptions: the trailing
+// seed overrides options.seed.
+inline ReplayResult replay(const std::vector<TraceJob>& jobs,
+                           ReplayOptions options, std::uint64_t seed) {
+  options.seed = seed;
+  return replay(jobs, options);
+}
 
 }  // namespace ds::trace

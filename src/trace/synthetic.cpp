@@ -29,14 +29,13 @@ TraceStage make_stage(Rng& rng, const SyntheticTraceOptions& opt, int index) {
 
 }  // namespace
 
-std::vector<TraceJob> synthetic_trace(const SyntheticTraceOptions& opt,
-                                      std::uint64_t seed) {
+std::vector<TraceJob> synthetic_trace(const SyntheticTraceOptions& opt) {
   DS_CHECK(opt.num_jobs > 0);
   DS_CHECK(opt.min_stages >= 1 && opt.max_stages >= opt.min_stages);
   DS_CHECK(opt.min_stage_time > 0 && opt.max_stage_time >= opt.min_stage_time);
   DS_CHECK(opt.chain_fraction >= 0 && opt.chain_fraction <= 1);
 
-  Rng rng(seed);
+  Rng rng(opt.seed);
   std::vector<TraceJob> jobs;
   jobs.reserve(opt.num_jobs);
 

@@ -14,11 +14,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/options.h"
 #include "trace/trace.h"
 
 namespace ds::trace {
 
-struct SyntheticTraceOptions {
+// CommonOptions supplies the generator seed (threads/obs are unused here —
+// generation is a single deterministic pass).
+struct SyntheticTraceOptions : CommonOptions {
   std::size_t num_jobs = 2000;
   // Job submissions are Poisson over this horizon (the trace spans 8 days).
   Seconds horizon = 8 * 24 * 3600.0;
@@ -34,8 +37,15 @@ struct SyntheticTraceOptions {
   Seconds max_stage_time = 3000;
 };
 
-// Deterministic for a given seed.
-std::vector<TraceJob> synthetic_trace(const SyntheticTraceOptions& opt,
-                                      std::uint64_t seed);
+// Deterministic for a given opt.seed.
+std::vector<TraceJob> synthetic_trace(const SyntheticTraceOptions& opt);
+
+// Back-compat spelling from before seeds lived in CommonOptions: the trailing
+// seed overrides opt.seed.
+inline std::vector<TraceJob> synthetic_trace(SyntheticTraceOptions opt,
+                                             std::uint64_t seed) {
+  opt.seed = seed;
+  return synthetic_trace(opt);
+}
 
 }  // namespace ds::trace

@@ -1,0 +1,95 @@
+// ds::CommonOptions: the one place 0-means-auto thread counts are resolved,
+// plus the back-compat option spellings (inherited threads/seed fields and
+// the legacy trailing-seed overloads).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/delay_calculator.h"
+#include "core/options.h"
+#include "core/profile.h"
+#include "sim/cluster.h"
+#include "trace/replay.h"
+#include "trace/synthetic.h"
+#include "workloads/workloads.h"
+
+namespace ds {
+namespace {
+
+TEST(CommonOptions, ResolvedThreadsNormalizesZeroAndNegative) {
+  CommonOptions opt;
+  opt.threads = 5;
+  EXPECT_EQ(opt.resolved_threads(), 5);
+  const int hw = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  opt.threads = 0;
+  EXPECT_EQ(opt.resolved_threads(), hw);
+  opt.threads = -3;
+  EXPECT_EQ(opt.resolved_threads(), hw);
+}
+
+TEST(CommonOptions, DerivedStructsInheritTheSharedFields) {
+  // The pre-refactor spellings must keep compiling: threads/seed now live in
+  // the CommonOptions base, and common() exposes the base for shared helpers.
+  core::CalculatorOptions copt;
+  copt.threads = 3;
+  copt.seed = 9;
+  copt.obs = nullptr;
+  EXPECT_EQ(copt.common().threads, 3);
+  EXPECT_EQ(copt.common().seed, 9u);
+  copt.common().threads = 4;
+  EXPECT_EQ(copt.threads, 4);
+
+  trace::ReplayOptions ropt;
+  ropt.threads = 2;
+  EXPECT_EQ(ropt.resolved_threads(), 2);
+  trace::SyntheticTraceOptions topt;
+  topt.seed = 77;
+  EXPECT_EQ(topt.common().seed, 77u);
+}
+
+TEST(CommonOptions, SyntheticTraceLegacySeedOverloadMatches) {
+  trace::SyntheticTraceOptions opt;
+  opt.num_jobs = 50;
+  opt.seed = 123;
+  const auto via_options = trace::synthetic_trace(opt);
+  const auto via_legacy = trace::synthetic_trace(opt, 123);
+  ASSERT_EQ(via_options.size(), via_legacy.size());
+  for (std::size_t i = 0; i < via_options.size(); ++i) {
+    EXPECT_EQ(via_options[i].submit_time, via_legacy[i].submit_time);
+    ASSERT_EQ(via_options[i].stages.size(), via_legacy[i].stages.size());
+  }
+  // And the trailing seed must win over whatever the struct carries.
+  opt.seed = 1;
+  const auto overridden = trace::synthetic_trace(opt, 123);
+  EXPECT_EQ(overridden[0].submit_time, via_options[0].submit_time);
+}
+
+TEST(CommonOptions, ReplayLegacySeedOverloadMatches) {
+  trace::SyntheticTraceOptions topt;
+  topt.num_jobs = 30;
+  topt.seed = 5;
+  const auto jobs = trace::synthetic_trace(topt);
+  trace::ReplayOptions ropt;
+  ropt.cluster.num_workers = 20;
+  ropt.seed = 11;
+  const auto via_options = trace::replay(jobs, ropt);
+  const auto via_legacy = trace::replay(jobs, ropt, 11);
+  EXPECT_EQ(via_options.mean_jct(), via_legacy.mean_jct());
+  EXPECT_EQ(via_options.mean_cpu_util(), via_legacy.mean_cpu_util());
+}
+
+TEST(CommonOptions, PlannerAutoThreadsMatchesSingleThread) {
+  const dag::JobDag dag = workloads::cosine_similarity();
+  const core::JobProfile profile =
+      core::JobProfile::from(dag, sim::ClusterSpec::paper_prototype());
+  core::CalculatorOptions one;
+  one.threads = 1;
+  core::CalculatorOptions moar;
+  moar.threads = 0;  // auto — resolved inside the planner via CommonOptions
+  const auto a = core::DelayCalculator(profile, one).compute();
+  const auto b = core::DelayCalculator(profile, moar).compute();
+  EXPECT_EQ(a.delay, b.delay);  // planner is bit-identical across pool sizes
+}
+
+}  // namespace
+}  // namespace ds

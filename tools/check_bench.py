@@ -71,6 +71,20 @@ def main():
         if not ok:
             failures.append(name)
 
+    def check_ceiling(name, measured, ceiling):
+        nonlocal checked
+        checked += 1
+        # Mirror image of check(): the measurement may sit up to --slack
+        # above the committed ceiling before the gate trips.
+        limit = ceiling * (1.0 + args.slack)
+        ok = measured <= limit
+        print(
+            f"{'ok  ' if ok else 'FAIL'} {name}: {measured:.2f} "
+            f"(ceiling {ceiling:.2f}, limit {limit:.2f})"
+        )
+        if not ok:
+            failures.append(name)
+
     plan_floors = baseline.get("planner_evals_per_sec", {})
     for entry in results.get("planner", []):
         if entry["threads"] != 1:
@@ -83,6 +97,16 @@ def main():
     for entry in results.get("replay", []):
         if entry["threads"] == 1 and replay_floor is not None:
             check("replay jobs/s", entry["jobs_per_sec"], replay_floor)
+
+    obs_entries = {e["mode"]: e for e in results.get("obs", [])}
+    off_floor = baseline.get("obs_runs_per_sec_off")
+    if off_floor is not None and "off" in obs_entries:
+        check("obs[off] runs/s", obs_entries["off"]["runs_per_sec"], off_floor)
+    for mode, ceiling in baseline.get("obs_overhead_max_pct", {}).items():
+        if mode in obs_entries:
+            check_ceiling(
+                f"obs[{mode}] overhead %", obs_entries[mode]["overhead_pct"], ceiling
+            )
 
     if checked == 0:
         sys.exit("error: no metrics matched the baseline — wrong input?")
