@@ -11,6 +11,7 @@
 #include "metrics/sampler.h"
 #include "metrics/stats.h"
 #include "metrics/timeseries.h"
+#include "obs/analytics/analytics.h"
 #include "sched/strategy.h"
 #include "sim/cluster.h"
 #include "util/table.h"
@@ -28,19 +29,24 @@ struct BenchRun {
   engine::SubmissionPlan plan;
 };
 
+// Runs one workload under one strategy. Pass an Observability to capture the
+// engine's task spans (for span-based interleaving analytics); the obs layer
+// is passive, so results are bit-identical with or without it.
 inline BenchRun run_workload(const dag::JobDag& dag,
                              const sim::ClusterSpec& spec,
                              const std::string& strategy_name,
                              std::uint64_t seed,
-                             bool record_occupancy = false) {
-  sim::Simulator sim;
-  sim::Cluster cluster(sim, spec, seed);
+                             bool record_occupancy = false,
+                             obs::Observability* obs = nullptr) {
+  sim::Simulator sim(obs);
+  sim::Cluster cluster(sim, spec, seed, obs);
   auto strategy = sched::make_strategy(strategy_name);
 
   engine::RunOptions opt;
   opt.plan = strategy->plan(dag, cluster);
   opt.seed = seed;
   opt.record_occupancy = record_occupancy;
+  opt.obs = obs;
 
   metrics::UtilizationSampler sampler(cluster, 1.0);
   sampler.start();
@@ -55,16 +61,43 @@ inline BenchRun run_workload(const dag::JobDag& dag,
 
   BenchRun out;
   out.result = run.result();
-  out.worker_cpu = sampler.cpu_util(0);
-  out.worker_net = sampler.net_rx_mbps(0);
-  out.cpu_summary = out.worker_cpu.summarize(0, out.result.jct);
-  out.net_summary = out.worker_net.summarize(0, out.result.jct);
+  const obs::analytics::WorkerUtilization wu =
+      obs::analytics::worker_utilization(sampler, 0, out.result.jct);
+  out.worker_cpu = wu.cpu;
+  out.worker_net = wu.net;
+  out.cpu_summary = wu.cpu_summary;
+  out.net_summary = wu.net_summary;
   out.plan = opt.plan;
   if (record_occupancy) {
     for (dag::StageId s = 0; s < dag.num_stages(); ++s)
       out.occupancy.push_back(run.occupancy(s));
   }
   return out;
+}
+
+// A tracing Observability for span-based bench analytics; sized generously
+// so long runs never drop spans.
+inline obs::Observability make_bench_obs() {
+  obs::TracerOptions topt;
+  topt.enabled = true;
+  topt.ring_capacity = std::size_t{1} << 19;
+  return obs::Observability(topt);
+}
+
+// One-line interleaving digest of a run's task spans (Figs. 5/12): how much
+// of the makespan the network and CPU overlap, and the idle fractions left.
+inline void print_interleaving_digest(std::ostream& os,
+                                      const std::string& strategy,
+                                      const obs::Observability& obs,
+                                      Seconds jct) {
+  const obs::analytics::InterleavingReport rep =
+      obs::analytics::interleaving(obs.tracer, jct);
+  const auto& c = rep.cluster;
+  os << strategy << " interleaving: net busy "
+     << fmt(100.0 * c.network.busy_fraction, 1) << " %, CPU busy "
+     << fmt(100.0 * c.cpu.busy_fraction, 1) << " %, net x CPU overlap "
+     << fmt(100.0 * c.overlap_fraction, 1) << " % of the scarcer resource ("
+     << fmt(100.0 * c.interleaving_score, 1) << " % of makespan)\n";
 }
 
 // Print a (time, series...) block bucketed to `bucket` seconds, `max_rows`

@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "obs/analytics/analytics.h"
 #include "trace/replay.h"
 #include "trace/synthetic.h"
 
@@ -35,13 +36,17 @@ int main() {
                       {&r.machine_cpu, &r.machine_net}, 12 * 3600.0, 16);
 
   const auto mc = r.machine_cpu.summarize();
-  double below10 = 0;
-  for (double v : r.machine_cpu.values()) below10 += (v < 10.0);
-  std::cout << "\ncluster mean CPU: " << fmt(r.mean_cpu_util(), 1)
-            << " %, mean network: " << fmt(r.mean_net_util(), 1) << " %\n"
+  const obs::analytics::FleetUtilization f =
+      obs::analytics::fleet_utilization(r);
+  std::cout << "\ncluster mean CPU: " << fmt(f.cluster_cpu_pct, 1)
+            << " %, mean network: " << fmt(f.cluster_net_pct, 1) << " %\n"
             << "machine CPU range: " << fmt(mc.min, 1) << "-" << fmt(mc.max, 1)
             << " %; below 10% for "
-            << fmt(100.0 * below10 / static_cast<double>(r.machine_cpu.size()), 1)
-            << " % of samples (paper: 39.1 %)\n";
+            << fmt(obs::analytics::percent_below(r.machine_cpu, 10.0), 1)
+            << " % of samples (paper: 39.1 %)\n"
+            << "job-allocated resources: CPU " << fmt(f.job_cpu_pct, 1)
+            << " % busy / " << fmt(f.job_cpu_idle_pct, 1)
+            << " % idle; network " << fmt(f.job_net_pct, 1) << " % busy / "
+            << fmt(f.job_net_idle_pct, 1) << " % idle\n";
   return 0;
 }

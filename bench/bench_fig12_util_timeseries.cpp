@@ -11,9 +11,14 @@ namespace {
 void compare(const ds::dag::JobDag& dag, const char* workload) {
   using namespace ds;
   const auto spec = sim::ClusterSpec::paper_prototype();
-  const bench::BenchRun stock = bench::run_workload(dag, spec, "Spark", 42);
+  // Trace each run (passive: results are identical to untraced runs) so the
+  // span-based interleaving digest can quantify the filled valleys.
+  obs::Observability stock_obs = bench::make_bench_obs();
+  obs::Observability ds_obs = bench::make_bench_obs();
+  const bench::BenchRun stock =
+      bench::run_workload(dag, spec, "Spark", 42, false, &stock_obs);
   const bench::BenchRun ds_run =
-      bench::run_workload(dag, spec, "DelayStage", 42);
+      bench::run_workload(dag, spec, "DelayStage", 42, false, &ds_obs);
 
   std::cout << "--- " << workload << " (worker 0, 20 s buckets) ---\n";
   bench::print_series(
@@ -24,7 +29,12 @@ void compare(const ds::dag::JobDag& dag, const char* workload) {
        &ds_run.worker_cpu},
       20.0, 36);
   std::cout << "JCT: Spark " << fmt(stock.result.jct, 1) << " s, DelayStage "
-            << fmt(ds_run.result.jct, 1) << " s\n\n";
+            << fmt(ds_run.result.jct, 1) << " s\n";
+  bench::print_interleaving_digest(std::cout, "Spark", stock_obs,
+                                   stock.result.jct);
+  bench::print_interleaving_digest(std::cout, "DelayStage", ds_obs,
+                                   ds_run.result.jct);
+  std::cout << '\n';
 }
 
 }  // namespace

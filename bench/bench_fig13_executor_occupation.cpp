@@ -12,8 +12,9 @@ void occupation(const char* strategy) {
   using namespace ds;
   const auto dag = workloads::cosine_similarity();
   const auto spec = sim::ClusterSpec::paper_prototype();
-  const bench::BenchRun run =
-      bench::run_workload(dag, spec, strategy, 42, /*record_occupancy=*/true);
+  obs::Observability obs = bench::make_bench_obs();
+  const bench::BenchRun run = bench::run_workload(
+      dag, spec, strategy, 42, /*record_occupancy=*/true, &obs);
 
   std::cout << "--- " << strategy << " (JCT " << fmt(run.result.jct, 1)
             << " s) — executors held per stage, 20 s buckets ---\n";
@@ -24,6 +25,7 @@ void occupation(const char* strategy) {
     labels.push_back(dag.stage(s).name);
   }
   bench::print_series(std::cout, "t (s)", labels, series, 20.0, 36);
+  bench::print_interleaving_digest(std::cout, strategy, obs, run.result.jct);
   std::cout << '\n';
 }
 

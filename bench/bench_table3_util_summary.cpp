@@ -1,6 +1,8 @@
 // Table 3 — mean (std) of a worker's network throughput and CPU utilization
 // for the four workloads under stock Spark and DelayStage.
 #include <iostream>
+#include <memory>
+#include <vector>
 
 #include "bench_common.h"
 #include "workloads/workloads.h"
@@ -17,10 +19,21 @@ int main() {
                   "Spark CPU %", "DS CPU %", "CPU gain %"});
   t.set_precision(1);
 
+  struct Digest {
+    std::string name;
+    obs::Observability obs = bench::make_bench_obs();
+    Seconds jct = 0;
+  };
+  std::vector<std::unique_ptr<Digest>> digests;  // Observability is immovable
+
   for (const auto& wl : workloads::benchmark_suite()) {
-    const bench::BenchRun stock = bench::run_workload(wl.dag, spec, "Spark", 42);
+    auto stock_d = std::make_unique<Digest>();
+    auto ds_d = std::make_unique<Digest>();
+    const bench::BenchRun stock = bench::run_workload(
+        wl.dag, spec, "Spark", 42, /*record_occupancy=*/false, &stock_d->obs);
     const bench::BenchRun ds_run =
-        bench::run_workload(wl.dag, spec, "DelayStage", 42);
+        bench::run_workload(wl.dag, spec, "DelayStage", 42,
+                            /*record_occupancy=*/false, &ds_d->obs);
     auto cell = [](const metrics::Summary& s) {
       return fmt(s.mean, 1) + " (" + fmt(s.stddev, 1) + ")";
     };
@@ -30,7 +43,17 @@ int main() {
                cell(stock.cpu_summary), cell(ds_run.cpu_summary),
                100.0 * (ds_run.cpu_summary.mean - stock.cpu_summary.mean) /
                    std::max(stock.cpu_summary.mean, 1e-9)});
+    stock_d->name = wl.name + " / Spark";
+    stock_d->jct = stock.result.jct;
+    ds_d->name = wl.name + " / DelayStage";
+    ds_d->jct = ds_run.result.jct;
+    digests.push_back(std::move(stock_d));
+    digests.push_back(std::move(ds_d));
   }
   t.print(std::cout);
+
+  std::cout << "\n--- span-based interleaving digest (same runs) ---\n";
+  for (const auto& d : digests)
+    bench::print_interleaving_digest(std::cout, d->name, d->obs, d->jct);
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "obs/analytics/analytics.h"
 #include "trace/replay.h"
 #include "trace/synthetic.h"
 
@@ -21,15 +22,31 @@ int main() {
 
   TablePrinter t({"strategy", "CPU %", "network %"});
   t.set_precision(1);
+  std::vector<obs::analytics::FleetUtilization> fleet;
+  std::vector<std::string> names;
   for (const char* strategy : {"Fuxi", "random DelayStage",
                                "ascending DelayStage", "DelayStage"}) {
     trace::ReplayOptions opt;
     opt.strategy = strategy;
     opt.cluster.num_workers = 40;
     const trace::ReplayResult r = trace::replay(jobs, opt, 7);
-    t.add_row({std::string(strategy), r.mean_job_cpu_util(),
-               r.mean_job_net_util()});
+    const obs::analytics::FleetUtilization f =
+        obs::analytics::fleet_utilization(r);
+    t.add_row({std::string(strategy), f.job_cpu_pct, f.job_net_pct});
+    fleet.push_back(f);
+    names.emplace_back(strategy);
   }
   t.print(std::cout);
+  std::cout << "\n--- fleet analytics (idle fractions and delay budget) ---\n";
+  TablePrinter d({"strategy", "CPU idle %", "net idle %", "job CPU p50/p90 %",
+                  "mean JCT (s)", "mean delay (s)"});
+  d.set_precision(1);
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const auto& f = fleet[i];
+    d.add_row({names[i], f.job_cpu_idle_pct, f.job_net_idle_pct,
+               fmt(f.job_cpu_p50, 1) + " / " + fmt(f.job_cpu_p90, 1),
+               f.mean_jct_s, f.mean_planned_delay_s});
+  }
+  d.print(std::cout);
   return 0;
 }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -82,6 +83,7 @@ struct CommonFlags {
   std::uint64_t seed = 42;
   std::string trace_out;    // Chrome trace_event JSON; empty = no tracing
   std::string metrics_out;  // metrics registry JSON; empty = no dump
+  std::string report_out;   // analytics report (.csv → CSV, else JSON)
 
   bool want_obs() const { return !trace_out.empty() || !metrics_out.empty(); }
 
@@ -101,19 +103,21 @@ inline CommonFlags parse_common_flags(int argc, char** argv,
   f.seed = static_cast<std::uint64_t>(seed);
   f.trace_out = flag(argc, argv, "--trace-out", "");
   f.metrics_out = flag(argc, argv, "--metrics-out", "");
+  f.report_out = flag(argc, argv, "--report-out", "");
   return f;
 }
 
 // Owns the Observability for one CLI invocation. The tracer is enabled only
-// when a trace file was requested; metrics handles are live whenever the sink
-// exists (a registry dump costs nothing until exported).
+// when a trace file was requested (or the command needs spans itself, e.g.
+// for an analytics report — pass force_trace); metrics handles are live
+// whenever the sink exists (a registry dump costs nothing until exported).
 class ObsSink {
  public:
-  explicit ObsSink(const CommonFlags& f)
+  explicit ObsSink(const CommonFlags& f, bool force_trace = false)
       : trace_out_(f.trace_out), metrics_out_(f.metrics_out) {
-    if (f.want_obs()) {
+    if (f.want_obs() || force_trace) {
       obs::TracerOptions topt;
-      topt.enabled = !f.trace_out.empty();
+      topt.enabled = !f.trace_out.empty() || force_trace;
       obs_ = std::make_unique<obs::Observability>(topt);
     }
   }
@@ -121,9 +125,16 @@ class ObsSink {
   // nullptr when no observability was requested — zero overhead downstream.
   obs::Observability* get() { return obs_.get(); }
 
-  // Write whichever outputs were requested; throws on IO failure.
+  // Write whichever outputs were requested; throws on IO failure. Warns once
+  // on stderr when the span ring overflowed, so a truncated trace (or an
+  // analytics report computed from one) is never silent.
   void flush() {
     if (obs_ == nullptr) return;
+    if (const std::uint64_t lost = obs_->tracer.dropped(); lost > 0) {
+      std::cerr << "warning: trace ring overflowed, " << lost
+                << " span(s) dropped — raise TracerOptions::ring_capacity "
+                   "for a complete timeline\n";
+    }
     if (!trace_out_.empty()) {
       std::ofstream out(trace_out_);
       if (!out) throw std::runtime_error("cannot write " + trace_out_);

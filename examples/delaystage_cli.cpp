@@ -9,14 +9,22 @@
 //                                    [--crash NODE@T | --crash NODE@T@DOWN]
 //                                    [--crash-rate R --horizon S]
 //                                    [--mean-downtime S]
+//   ./delaystage_cli report <job.spec> [--cluster ...] [--seed N]
+//                                      [--report-out FILE] [--strict]
 //   ./delaystage_cli demo                 # print a sample spec
 //
-// Observability (both commands): --trace-out FILE writes a Chrome
+// Observability (all commands): --trace-out FILE writes a Chrome
 // trace_event JSON (open in chrome://tracing or https://ui.perfetto.dev);
 // --metrics-out FILE dumps the metrics registry as JSON. `plan` traces the
 // planner's wall-clock phases plus the predicted stage timeline; `run`
 // traces the simulated stage/task lifecycle per worker slot and the
 // cluster-utilization counters.
+//
+// Analytics: `report` plans with the DelayStage calculator, executes the
+// schedule, and prints per-stage predicted-vs-actual residuals for the three
+// model terms plus per-resource idle/overlap fractions (--strict exits
+// nonzero on drift warnings). `run --report-out FILE` attaches the same
+// report to any strategy's run; .csv extension selects CSV, else JSON.
 //
 // Fault flags: --fail-rate aborts each task attempt with probability P;
 // --crash schedules a worker crash at time T (rejoining after DOWN seconds,
@@ -41,6 +49,8 @@
 #include "dag/serialize.h"
 #include "engine/job_run.h"
 #include "metrics/sampler.h"
+#include "obs/analytics/analytics.h"
+#include "obs/analytics/report.h"
 #include "sched/strategy.h"
 #include "sim/cluster.h"
 #include "sim/faults.h"
@@ -83,19 +93,16 @@ ds::sim::NodeCrash parse_crash(const std::string& s) {
 }
 
 // The schedule the planner predicts, rendered onto the trace's stage track
-// so plan-time and run-time timelines line up in the same viewer.
+// so plan-time and run-time timelines line up in the same viewer. Consumes
+// the timeline the calculator already exported — no re-evaluation.
 void trace_predicted_timeline(ds::obs::Tracer* tr,
                               const ds::dag::JobDag& job,
-                              const ds::core::JobProfile& profile,
-                              const ds::core::DelaySchedule& schedule,
-                              ds::Seconds slot) {
+                              const ds::core::DelaySchedule& schedule) {
   using namespace ds;
   if (tr == nullptr) return;
-  const core::Evaluation ev =
-      core::ScheduleEvaluator(profile, slot).evaluate(schedule.delay);
   tr->set_process_name(obs::kJobPid, "predicted stages");
   for (dag::StageId s = 0; s < job.num_stages(); ++s) {
-    const auto& t = ev.stages[static_cast<std::size_t>(s)];
+    const auto& t = schedule.predicted_stages[static_cast<std::size_t>(s)];
     const char* name = tr->intern(job.stage(s).name);
     tr->set_thread_name(obs::kJobPid, s, name);
     if (t.submitted > t.ready)
@@ -119,8 +126,7 @@ int cmd_plan(const ds::dag::JobDag& job, const ds::sim::ClusterSpec& spec,
   copt.obs = sink.get();
   const core::DelaySchedule schedule =
       core::DelayCalculator(profile, copt).compute();
-  trace_predicted_timeline(obs::tracer(sink.get()), job, profile, schedule,
-                           copt.slot);
+  trace_predicted_timeline(obs::tracer(sink.get()), job, schedule);
 
   std::cout << "# execution paths (descending solo time)\n";
   for (const auto& p : schedule.paths) {
@@ -134,10 +140,67 @@ int cmd_plan(const ds::dag::JobDag& job, const ds::sim::ClusterSpec& spec,
   return 0;
 }
 
+void print_drift(const ds::obs::analytics::DriftReport& d) {
+  using namespace ds;
+  std::cout << "# model drift (predicted vs executed, per Eq. 1 term)\n";
+  TablePrinter t({"stage", "term", "predicted s", "actual s", "residual s",
+                  "rel err %"});
+  t.set_precision(2);
+  for (const auto& s : d.stages) {
+    const struct {
+      const char* name;
+      const obs::analytics::TermDrift* td;
+    } terms[] = {{"network", &s.network},
+                 {"compute", &s.compute},
+                 {"write", &s.write},
+                 {"duration", &s.duration}};
+    for (const auto& [tname, td] : terms) {
+      t.add_row({s.name, tname, td->predicted, td->actual, td->residual(),
+                 100.0 * td->rel_error});
+    }
+  }
+  t.print(std::cout);
+  const struct {
+    const char* name;
+    const obs::analytics::DriftSummary* ds_;
+  } sums[] = {{"network", &d.network},
+              {"compute", &d.compute},
+              {"write", &d.write},
+              {"duration", &d.duration}};
+  for (const auto& [name, s] : sums) {
+    std::cout << "# " << name << " |rel err|: mean " << fmt(100.0 * s->mean, 1)
+              << " %, p50 " << fmt(100.0 * s->p50, 1) << " %, p90 "
+              << fmt(100.0 * s->p90, 1) << " %, max " << fmt(100.0 * s->max, 1)
+              << " %\n";
+  }
+  for (const auto& w : d.warnings) std::cout << "WARNING: " << w << '\n';
+}
+
+void print_interleaving(const ds::obs::analytics::InterleavingReport& rep) {
+  using namespace ds;
+  std::cout << "# resource interleaving over " << fmt(rep.horizon, 1)
+            << " s (busy fractions of the horizon)\n";
+  TablePrinter t({"worker", "net busy %", "cpu busy %", "disk busy %",
+                  "net idle %", "cpu idle %", "overlap %", "score %"});
+  t.set_precision(1);
+  auto row = [&](const std::string& label,
+                 const obs::analytics::WorkerInterleaving& w) {
+    t.add_row({label, 100.0 * w.network.busy_fraction,
+               100.0 * w.cpu.busy_fraction, 100.0 * w.disk.busy_fraction,
+               100.0 * w.network.idle_fraction, 100.0 * w.cpu.idle_fraction,
+               100.0 * w.overlap_fraction, 100.0 * w.interleaving_score});
+  };
+  for (const auto& w : rep.workers)
+    row("node " + std::to_string(w.pid - obs::kNodePidBase), w);
+  row("cluster", rep.cluster);
+  t.print(std::cout);
+}
+
 int cmd_run(const ds::dag::JobDag& job, const ds::sim::ClusterSpec& spec,
             const std::string& strategy_name, std::uint64_t seed,
             const ds::engine::RunOptions& base_opt,
-            const ds::sim::FaultPlan& faults, ds::cli::ObsSink& sink) {
+            const ds::sim::FaultPlan& faults, const std::string& report_out,
+            ds::cli::ObsSink& sink) {
   using namespace ds;
   sim::Simulator sim(sink.get());
   sim::Cluster cluster(sim, spec, seed, sink.get());
@@ -210,14 +273,85 @@ int cmd_run(const ds::dag::JobDag& job, const ds::sim::ClusterSpec& spec,
               << " task(s) rerun, " << fmt(r.wasted_seconds(), 1)
               << " s wasted\n";
   }
+  if (!report_out.empty() && tr != nullptr) {
+    // Predicted timeline for whatever delays the strategy chose, from the
+    // same analytical model the planner scans (profile-from-spec, default
+    // slot width).
+    const core::JobProfile profile = core::JobProfile::from(job, spec);
+    const core::Evaluation ev =
+        core::ScheduleEvaluator(profile, core::CalculatorOptions{}.slot)
+            .evaluate(opt.plan.delay);
+    obs::analytics::JobReport rep;
+    rep.job = job.name();
+    rep.strategy = strategy_name;
+    rep.jct_s = r.jct;
+    rep.predicted_makespan_s = ev.parallel_end;
+    rep.drift = obs::analytics::model_drift(ev.stages, opt.plan.delay, job, r);
+    rep.interleaving = obs::analytics::interleaving(*tr, r.jct);
+    if (obs::analytics::write_report_file(report_out, rep))
+      std::cout << "# analytics report written to " << report_out << '\n';
+  }
   return 0;
+}
+
+// Plan with the DelayStage calculator, execute the schedule on the engine,
+// and report model drift plus interleaving efficiency — the paper's model
+// validation (Figs. 9-11) and overlap studies (Figs. 5/12) for one job.
+int cmd_report(const ds::dag::JobDag& job, const ds::sim::ClusterSpec& spec,
+               const ds::cli::CommonFlags& cf, const std::string& report_out,
+               bool strict, ds::cli::ObsSink& sink) {
+  using namespace ds;
+  const core::JobProfile profile = core::JobProfile::from(job, spec);
+  core::CalculatorOptions copt;
+  cf.apply(copt);
+  copt.obs = sink.get();
+  const core::DelaySchedule schedule =
+      core::DelayCalculator(profile, copt).compute();
+  trace_predicted_timeline(obs::tracer(sink.get()), job, schedule);
+
+  sim::Simulator sim(sink.get());
+  sim::Cluster cluster(sim, spec, cf.seed, sink.get());
+  engine::RunOptions opt;
+  opt.plan = core::StageDelayer(schedule).plan();
+  opt.seed = cf.seed;
+  opt.obs = sink.get();
+  engine::JobRun run(cluster, job, opt);
+  run.start();
+  while (!run.finished() && sim.step()) {
+  }
+  const auto& r = run.result();
+  if (!r.complete()) {
+    std::cerr << "report: job did not complete\n";
+    return 1;
+  }
+
+  obs::analytics::JobReport rep;
+  rep.job = job.name();
+  rep.strategy = "DelayStage";
+  rep.jct_s = r.jct;
+  rep.predicted_makespan_s = schedule.predicted_makespan;
+  rep.drift = obs::analytics::model_drift(schedule.predicted_stages,
+                                          schedule.delay, job, r);
+  rep.interleaving =
+      obs::analytics::interleaving(*obs::tracer(sink.get()), r.jct);
+
+  std::cout << "# predicted makespan " << fmt(schedule.predicted_makespan, 1)
+            << " s, executed JCT " << fmt(r.jct, 1) << " s\n";
+  print_drift(rep.drift);
+  print_interleaving(rep.interleaving);
+  if (!report_out.empty() &&
+      obs::analytics::write_report_file(report_out, rep))
+    std::cout << "# analytics report written to " << report_out << '\n';
+  // --strict turns drift warnings into a nonzero exit (a model-decay gate).
+  return strict && !rep.drift.within_bounds() ? 3 : 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: delaystage_cli plan|run|demo [job.spec] [flags]\n";
+    std::cerr
+        << "usage: delaystage_cli plan|run|report|demo [job.spec] [flags]\n";
     return 2;
   }
   const std::string cmd = argv[1];
@@ -233,10 +367,17 @@ int main(int argc, char** argv) {
     const auto spec =
         cluster_for(cli::flag(argc, argv, "--cluster", "prototype"));
     const cli::CommonFlags cf = cli::parse_common_flags(argc, argv);
-    cli::ObsSink sink(cf);
+    // `report` derives its analytics from engine spans, so it always needs a
+    // live tracer; `run --report-out` likewise.
+    const bool force_trace =
+        cmd == "report" || (cmd == "run" && !cf.report_out.empty());
+    cli::ObsSink sink(cf, force_trace);
     int rc = 2;
     if (cmd == "plan") {
       rc = cmd_plan(job, spec, cf, sink);
+    } else if (cmd == "report") {
+      rc = cmd_report(job, spec, cf, cf.report_out,
+                      cli::has_flag(argc, argv, "--strict"), sink);
     } else if (cmd == "run") {
       const std::string strategy =
           cli::flag(argc, argv, "--strategy", "DelayStage");
@@ -250,7 +391,8 @@ int main(int argc, char** argv) {
       faults.crash_rate = cli::num_flag(argc, argv, "--crash-rate", 0);
       faults.crash_horizon = cli::num_flag(argc, argv, "--horizon", 0);
       faults.mean_downtime = cli::num_flag(argc, argv, "--mean-downtime", -1);
-      rc = cmd_run(job, spec, strategy, cf.seed, opt, faults, sink);
+      rc = cmd_run(job, spec, strategy, cf.seed, opt, faults, cf.report_out,
+                   sink);
     } else {
       std::cerr << "unknown command '" << cmd << "'\n";
       return 2;

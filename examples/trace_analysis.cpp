@@ -5,13 +5,19 @@
 //   ./trace_analysis [batch_task.csv] [--threads N]   # 0 = hw concurrency
 //                    [--seed N]                       # replay seed
 //                    [--trace-out FILE] [--metrics-out FILE]
+//                    [--report-out FILE]              # fleet analytics
 //
 // --trace-out/--metrics-out capture the per-job planner phases and search
 // counters of the replay's DelayStage pass (chrome://tracing loadable).
+// --report-out writes per-strategy fleet utilization analytics (mean JCT,
+// cluster/job utilization, idle fractions, per-job percentiles, planned
+// delay budget) plus per-job rows — CSV when the file ends in .csv, JSON
+// otherwise.
 #include <cstring>
 #include <iostream>
 
 #include "cli_flags.h"
+#include "obs/analytics/report.h"
 #include "trace/alibaba.h"
 #include "trace/replay.h"
 #include "trace/stats.h"
@@ -66,9 +72,12 @@ int main(int argc, char** argv) {
                 << fmt(st.parallel_makespan_share.mean(), 1) << " %\n";
     }
 
-    // Replay a sample under both schedulers.
+    // Replay a sample under both schedulers, aggregating fleet analytics
+    // (per-job and per-strategy) as we go.
     std::vector<trace::TraceJob> sample(
         jobs.begin(), jobs.begin() + std::min<std::size_t>(jobs.size(), 300));
+    obs::analytics::FleetReport fleet;
+    fleet.trace = trace_file != nullptr ? trace_file : "synthetic";
     TablePrinter t({"strategy", "mean JCT (s)", "CPU util %", "net util %"});
     t.set_precision(1);
     for (const char* strategy : {"Fuxi", "DelayStage"}) {
@@ -80,9 +89,15 @@ int main(int argc, char** argv) {
       const trace::ReplayResult r = trace::replay(sample, opt);
       t.add_row({std::string(strategy), r.mean_jct(), r.mean_cpu_util(),
                  r.mean_net_util()});
+      fleet.strategies.push_back(obs::analytics::fleet_strategy_report(
+          strategy, r, /*keep_jobs=*/!cf.report_out.empty()));
     }
     std::cout << '\n';
     t.print(std::cout);
+    if (!cf.report_out.empty() &&
+        obs::analytics::write_report_file(cf.report_out, fleet))
+      std::cout << "# fleet analytics report written to " << cf.report_out
+                << '\n';
     sink.flush();
     return 0;
   } catch (const std::exception& e) {

@@ -61,15 +61,24 @@ DelaySchedule DelayCalculator::compute() const {
   DelaySchedule out;
   out.delay.assign(n, 0.0);
 
+  // The schedule's predicted timeline (and its makespan/JCT, which are
+  // exactly what score() would report: Score is {parallel_end, jct}). The
+  // per-stage breakdown is exported so drift analytics can compare each
+  // model term against an executed run.
+  auto finalize = [&](DelaySchedule& sched) {
+    Evaluation ev = eval.evaluate(sched.delay);
+    sched.predicted_makespan = ev.parallel_end;
+    sched.predicted_jct = ev.jct;
+    sched.predicted_stages = std::move(ev.stages);
+    sched.evaluations = eval.evaluations();
+    sched.memo_hits = memo.hits();
+    publish(sched);
+  };
+
   // Lines 1–3: execution paths, solo stage times ^t_k, initial path times.
   out.paths = dag::execution_paths(dag, opt_.max_paths);
   if (out.paths.empty()) {
-    const Score s = score_of(out.delay);
-    out.predicted_makespan = s.makespan;
-    out.predicted_jct = s.jct;
-    out.evaluations = eval.evaluations();
-    out.memo_hits = memo.hits();
-    publish(out);
+    finalize(out);
     return out;  // no parallel stages — nothing to delay
   }
   std::vector<Seconds> path_time(out.paths.size(), 0.0);
@@ -235,12 +244,7 @@ DelaySchedule DelayCalculator::compute() const {
     if (results[r].score.better_than(results[best_r].score)) best_r = r;
   out.delay = std::move(results[best_r].delay);
 
-  const Score final_score = score_of(out.delay);  // memo hit when enabled
-  out.predicted_makespan = final_score.makespan;
-  out.predicted_jct = final_score.jct;
-  out.evaluations = eval.evaluations();
-  out.memo_hits = memo.hits();
-  publish(out);
+  finalize(out);
   return out;
 }
 

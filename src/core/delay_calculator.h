@@ -63,6 +63,13 @@ struct DelaySchedule {
   std::vector<Seconds> delay;
   Seconds predicted_makespan = -1;  // parallel-region end under this X
   Seconds predicted_jct = -1;
+  // Per-stage predicted timeline under `delay` (the evaluator's slotted
+  // simulation of the chosen schedule, indexed by StageId). Each entry
+  // carries the model's per-term breakdown — network fetch is
+  // [submitted, read_done), compute is [read_done, compute_done), shuffle
+  // write is [compute_done, finish) — which is what the model-drift
+  // analytics (obs/analytics) compare against an executed run.
+  std::vector<StageTimeline> predicted_stages;
   std::vector<dag::ExecutionPath> paths;  // the decomposition used
   // Search-cost counters: slotted simulations actually run, and candidate
   // scores answered from the memo instead.

@@ -476,6 +476,7 @@ void JobRun::on_compute_done(dag::StageId s, int t, int a) {
   at.compute_event = sim::kInvalidEvent;
   auto& tr = task(s, t);
   tr.compute_done = cluster_.sim().now();
+  rec(s).last_compute_done = std::max(rec(s).last_compute_done, tr.compute_done);
   cluster_.end_compute(at.node);
   if (trace_ != nullptr) trace_phase(s, at, "compute");
   const dag::Stage& spec = dag_.stage(s);

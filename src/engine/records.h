@@ -29,7 +29,8 @@ struct StageRecord {
   Seconds ready = -1;      // all parents complete
   Seconds submitted = -1;  // ready + delay x_k
   Seconds first_launch = -1;
-  Seconds last_read_done = -1;  // end of the stage's shuffle-read span
+  Seconds last_read_done = -1;     // end of the stage's shuffle-read span
+  Seconds last_compute_done = -1;  // end of the stage's processing span
   Seconds finish = -1;
 
   // --- recovery observability (fault injection) ---

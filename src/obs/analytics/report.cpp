@@ -1,0 +1,285 @@
+#include "obs/analytics/report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+namespace ds::obs::analytics {
+
+namespace {
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void term_json(std::ostream& os, const char* key, const TermDrift& t) {
+  os << '"' << key << "\": {\"predicted_s\": " << num(t.predicted)
+     << ", \"actual_s\": " << num(t.actual)
+     << ", \"residual_s\": " << num(t.residual())
+     << ", \"rel_error\": " << num(t.rel_error) << '}';
+}
+
+void summary_json(std::ostream& os, const char* key, const DriftSummary& s) {
+  os << '"' << key << "\": {\"count\": " << s.count
+     << ", \"mean\": " << num(s.mean) << ", \"p50\": " << num(s.p50)
+     << ", \"p90\": " << num(s.p90) << ", \"max\": " << num(s.max) << '}';
+}
+
+void timeline_json(std::ostream& os, const char* key,
+                   const ResourceTimeline& t) {
+  os << '"' << key << "\": {\"busy_s\": " << num(t.busy_seconds)
+     << ", \"idle_s\": " << num(t.idle_seconds)
+     << ", \"busy_fraction\": " << num(t.busy_fraction)
+     << ", \"idle_fraction\": " << num(t.idle_fraction) << '}';
+}
+
+void worker_json(std::ostream& os, const WorkerInterleaving& w,
+                 const char* indent) {
+  os << "{\n" << indent << "  \"pid\": " << w.pid << ",\n" << indent << "  ";
+  timeline_json(os, "network", w.network);
+  os << ",\n" << indent << "  ";
+  timeline_json(os, "cpu", w.cpu);
+  os << ",\n" << indent << "  ";
+  timeline_json(os, "disk", w.disk);
+  os << ",\n"
+     << indent << "  \"overlap_s\": " << num(w.net_cpu_overlap) << ",\n"
+     << indent << "  \"overlap_fraction\": " << num(w.overlap_fraction)
+     << ",\n"
+     << indent << "  \"interleaving_score\": " << num(w.interleaving_score)
+     << "\n" << indent << '}';
+}
+
+void drift_json(std::ostream& os, const DriftReport& d) {
+  os << "{\n    \"stages\": [";
+  for (std::size_t i = 0; i < d.stages.size(); ++i) {
+    const StageDrift& s = d.stages[i];
+    os << (i == 0 ? "" : ",") << "\n      {\"stage\": " << s.stage
+       << ", \"name\": " << quoted(s.name)
+       << ", \"delay_s\": " << num(s.delay) << ",\n       ";
+    term_json(os, "network", s.network);
+    os << ",\n       ";
+    term_json(os, "compute", s.compute);
+    os << ",\n       ";
+    term_json(os, "write", s.write);
+    os << ",\n       ";
+    term_json(os, "duration", s.duration);
+    os << '}';
+  }
+  os << (d.stages.empty() ? "" : "\n    ") << "],\n    ";
+  summary_json(os, "network", d.network);
+  os << ",\n    ";
+  summary_json(os, "compute", d.compute);
+  os << ",\n    ";
+  summary_json(os, "write", d.write);
+  os << ",\n    ";
+  summary_json(os, "duration", d.duration);
+  os << ",\n    \"warnings\": [";
+  for (std::size_t i = 0; i < d.warnings.size(); ++i)
+    os << (i == 0 ? "" : ", ") << quoted(d.warnings[i]);
+  os << "]\n  }";
+}
+
+void interleaving_json(std::ostream& os, const InterleavingReport& r) {
+  os << "{\n    \"horizon_s\": " << num(r.horizon)
+     << ",\n    \"workers\": [";
+  for (std::size_t i = 0; i < r.workers.size(); ++i) {
+    os << (i == 0 ? "" : ",") << "\n      ";
+    worker_json(os, r.workers[i], "      ");
+  }
+  os << (r.workers.empty() ? "" : "\n    ") << "],\n    \"cluster\": ";
+  worker_json(os, r.cluster, "    ");
+  os << "\n  }";
+}
+
+void fleet_util_json(std::ostream& os, const FleetUtilization& f) {
+  os << "\"jobs\": " << f.jobs << ",\n      \"mean_jct_s\": "
+     << num(f.mean_jct_s)
+     << ",\n      \"mean_dedicated_s\": " << num(f.mean_dedicated_s)
+     << ",\n      \"cluster_cpu_pct\": " << num(f.cluster_cpu_pct)
+     << ",\n      \"cluster_net_pct\": " << num(f.cluster_net_pct)
+     << ",\n      \"job_cpu_pct\": " << num(f.job_cpu_pct)
+     << ",\n      \"job_net_pct\": " << num(f.job_net_pct)
+     << ",\n      \"job_cpu_idle_pct\": " << num(f.job_cpu_idle_pct)
+     << ",\n      \"job_net_idle_pct\": " << num(f.job_net_idle_pct)
+     << ",\n      \"job_cpu_p50\": " << num(f.job_cpu_p50)
+     << ",\n      \"job_cpu_p90\": " << num(f.job_cpu_p90)
+     << ",\n      \"job_net_p50\": " << num(f.job_net_p50)
+     << ",\n      \"job_net_p90\": " << num(f.job_net_p90)
+     << ",\n      \"mean_planned_delay_s\": " << num(f.mean_planned_delay_s);
+}
+
+// CSV field orders are part of the pinned schema — keep in sync with the
+// header comments below and the golden test.
+void worker_csv_row(std::ostream& os, const WorkerInterleaving& w) {
+  os << w.pid << ',' << num(w.network.busy_seconds) << ','
+     << num(w.network.idle_fraction) << ',' << num(w.cpu.busy_seconds) << ','
+     << num(w.cpu.idle_fraction) << ',' << num(w.disk.busy_seconds) << ','
+     << num(w.disk.idle_fraction) << ',' << num(w.net_cpu_overlap) << ','
+     << num(w.overlap_fraction) << ',' << num(w.interleaving_score) << '\n';
+}
+
+}  // namespace
+
+FleetJobRow to_row(const trace::ReplayJobResult& j) {
+  FleetJobRow r;
+  r.submit = j.submit;
+  r.jct = j.jct;
+  r.dedicated = j.dedicated_time;
+  r.cpu_util_pct = 100.0 * j.cpu_util;
+  r.net_util_pct = 100.0 * j.net_util;
+  r.planned_delay = j.planned_delay;
+  return r;
+}
+
+FleetStrategyReport fleet_strategy_report(const std::string& strategy,
+                                          const trace::ReplayResult& result,
+                                          bool keep_jobs) {
+  FleetStrategyReport rep;
+  rep.strategy = strategy;
+  rep.util = fleet_utilization(result);
+  if (keep_jobs) {
+    rep.jobs.reserve(result.jobs.size());
+    for (const auto& j : result.jobs) rep.jobs.push_back(to_row(j));
+  }
+  return rep;
+}
+
+void write_json(std::ostream& os, const JobReport& report) {
+  os << "{\n  \"job\": " << quoted(report.job)
+     << ",\n  \"strategy\": " << quoted(report.strategy)
+     << ",\n  \"jct_s\": " << num(report.jct_s)
+     << ",\n  \"predicted_makespan_s\": " << num(report.predicted_makespan_s)
+     << ",\n  \"drift\": ";
+  drift_json(os, report.drift);
+  os << ",\n  \"interleaving\": ";
+  interleaving_json(os, report.interleaving);
+  os << "\n}\n";
+}
+
+void write_json(std::ostream& os, const FleetReport& report) {
+  os << "{\n  \"trace\": " << quoted(report.trace)
+     << ",\n  \"strategies\": [";
+  for (std::size_t i = 0; i < report.strategies.size(); ++i) {
+    const FleetStrategyReport& s = report.strategies[i];
+    os << (i == 0 ? "" : ",") << "\n    {\n      \"strategy\": "
+       << quoted(s.strategy) << ",\n      ";
+    fleet_util_json(os, s.util);
+    os << ",\n      \"jobs_detail\": [";
+    for (std::size_t j = 0; j < s.jobs.size(); ++j) {
+      const FleetJobRow& r = s.jobs[j];
+      os << (j == 0 ? "" : ",") << "\n        {\"submit_s\": " << num(r.submit)
+         << ", \"jct_s\": " << num(r.jct)
+         << ", \"dedicated_s\": " << num(r.dedicated)
+         << ", \"cpu_util_pct\": " << num(r.cpu_util_pct)
+         << ", \"net_util_pct\": " << num(r.net_util_pct)
+         << ", \"planned_delay_s\": " << num(r.planned_delay) << '}';
+    }
+    os << (s.jobs.empty() ? "" : "\n      ") << "]\n    }";
+  }
+  os << (report.strategies.empty() ? "" : "\n  ") << "]\n}\n";
+}
+
+void write_csv(std::ostream& os, const JobReport& report) {
+  os << "# drift\n"
+     << "job,strategy,stage,name,delay_s,term,predicted_s,actual_s,"
+        "residual_s,rel_error\n";
+  for (const StageDrift& s : report.drift.stages) {
+    const struct {
+      const char* name;
+      const TermDrift* t;
+    } terms[] = {{"network", &s.network},
+                 {"compute", &s.compute},
+                 {"write", &s.write},
+                 {"duration", &s.duration}};
+    for (const auto& [tname, t] : terms) {
+      os << report.job << ',' << report.strategy << ',' << s.stage << ','
+         << s.name << ',' << num(s.delay) << ',' << tname << ','
+         << num(t->predicted) << ',' << num(t->actual) << ','
+         << num(t->residual()) << ',' << num(t->rel_error) << '\n';
+    }
+  }
+  os << "\n# interleaving\n"
+     << "pid,net_busy_s,net_idle_fraction,cpu_busy_s,cpu_idle_fraction,"
+        "disk_busy_s,disk_idle_fraction,overlap_s,overlap_fraction,"
+        "interleaving_score\n";
+  for (const WorkerInterleaving& w : report.interleaving.workers)
+    worker_csv_row(os, w);
+  worker_csv_row(os, report.interleaving.cluster);
+}
+
+void write_csv(std::ostream& os, const FleetReport& report) {
+  os << "# fleet\n"
+     << "strategy,jobs,mean_jct_s,mean_dedicated_s,cluster_cpu_pct,"
+        "cluster_net_pct,job_cpu_pct,job_net_pct,job_cpu_idle_pct,"
+        "job_net_idle_pct,job_cpu_p50,job_cpu_p90,job_net_p50,job_net_p90,"
+        "mean_planned_delay_s\n";
+  for (const FleetStrategyReport& s : report.strategies) {
+    const FleetUtilization& f = s.util;
+    os << s.strategy << ',' << f.jobs << ',' << num(f.mean_jct_s) << ','
+       << num(f.mean_dedicated_s) << ',' << num(f.cluster_cpu_pct) << ','
+       << num(f.cluster_net_pct) << ',' << num(f.job_cpu_pct) << ','
+       << num(f.job_net_pct) << ',' << num(f.job_cpu_idle_pct) << ','
+       << num(f.job_net_idle_pct) << ',' << num(f.job_cpu_p50) << ','
+       << num(f.job_cpu_p90) << ',' << num(f.job_net_p50) << ','
+       << num(f.job_net_p90) << ',' << num(f.mean_planned_delay_s) << '\n';
+  }
+  bool any_jobs = false;
+  for (const FleetStrategyReport& s : report.strategies)
+    any_jobs = any_jobs || !s.jobs.empty();
+  if (!any_jobs) return;
+  os << "\n# jobs\n"
+     << "strategy,submit_s,jct_s,dedicated_s,cpu_util_pct,net_util_pct,"
+        "planned_delay_s\n";
+  for (const FleetStrategyReport& s : report.strategies) {
+    for (const FleetJobRow& r : s.jobs) {
+      os << s.strategy << ',' << num(r.submit) << ',' << num(r.jct) << ','
+         << num(r.dedicated) << ',' << num(r.cpu_util_pct) << ','
+         << num(r.net_util_pct) << ',' << num(r.planned_delay) << '\n';
+    }
+  }
+}
+
+namespace {
+
+bool is_csv(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+}
+
+template <typename Report>
+bool write_file(const std::string& path, const Report& report) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: could not open report file " << path << "\n";
+    return false;
+  }
+  if (is_csv(path)) {
+    write_csv(out, report);
+  } else {
+    write_json(out, report);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool write_report_file(const std::string& path, const JobReport& report) {
+  return write_file(path, report);
+}
+
+bool write_report_file(const std::string& path, const FleetReport& report) {
+  return write_file(path, report);
+}
+
+}  // namespace ds::obs::analytics

@@ -1,0 +1,86 @@
+// Serialization of the analytics reports: the `report` CLI subcommand and the
+// --report-out flag on run/replay both funnel through here, so the JSON/CSV
+// schema is defined once and pinned by the golden test.
+//
+// JSON layout (stable keys; values use the registry's %.10g number format so
+// dumps are deterministic across platforms):
+//
+//   JobReport  — {"job", "strategy", "jct_s", "predicted_makespan_s",
+//                 "drift": {"stages": [{"stage", "name", "delay_s",
+//                     "network"/"compute"/"write"/"duration":
+//                         {"predicted_s", "actual_s", "residual_s",
+//                          "rel_error"}}, ...],
+//                   "network"/"compute"/"write"/"duration":
+//                       {"count", "mean", "p50", "p90", "max"},
+//                   "warnings": [...]},
+//                 "interleaving": {"horizon_s", "workers": [...],
+//                   "cluster": {"pid", "network"/"cpu"/"disk":
+//                       {"busy_s", "idle_s", "busy_fraction",
+//                        "idle_fraction"},
+//                     "overlap_s", "overlap_fraction",
+//                     "interleaving_score"}}}
+//
+//   FleetReport — {"trace", "strategies": [{"strategy", <FleetUtilization
+//                  fields>, "jobs_detail": [...optional per-job rows...]}]}
+//
+// CSV is section-based: a `# <section>` comment line, a header row, data rows,
+// then a blank line between sections.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/analytics/analytics.h"
+
+namespace ds::obs::analytics {
+
+// One executed job: planner predictions vs engine spans.
+struct JobReport {
+  std::string job;       // DAG/workload name
+  std::string strategy;  // scheduling strategy that produced the run
+  Seconds jct_s = 0;
+  Seconds predicted_makespan_s = 0;
+  DriftReport drift;
+  InterleavingReport interleaving;
+};
+
+// Per-job sharing outcome inside a fleet replay (compact row form).
+struct FleetJobRow {
+  Seconds submit = 0;
+  Seconds jct = 0;
+  Seconds dedicated = 0;
+  double cpu_util_pct = 0;
+  double net_util_pct = 0;
+  Seconds planned_delay = 0;
+};
+
+struct FleetStrategyReport {
+  std::string strategy;
+  FleetUtilization util;
+  std::vector<FleetJobRow> jobs;  // optional detail (may be empty)
+};
+
+// Trace replay aggregated per strategy (and per job when detail is kept).
+struct FleetReport {
+  std::string trace;  // source description (file / synthetic params)
+  std::vector<FleetStrategyReport> strategies;
+};
+
+FleetJobRow to_row(const trace::ReplayJobResult& j);
+FleetStrategyReport fleet_strategy_report(const std::string& strategy,
+                                          const trace::ReplayResult& result,
+                                          bool keep_jobs = false);
+
+void write_json(std::ostream& os, const JobReport& report);
+void write_json(std::ostream& os, const FleetReport& report);
+void write_csv(std::ostream& os, const JobReport& report);
+void write_csv(std::ostream& os, const FleetReport& report);
+
+// Write to `path`, choosing CSV when the extension is .csv and JSON
+// otherwise. Returns false (with a note on stderr) when the file cannot be
+// opened; never throws.
+bool write_report_file(const std::string& path, const JobReport& report);
+bool write_report_file(const std::string& path, const FleetReport& report);
+
+}  // namespace ds::obs::analytics

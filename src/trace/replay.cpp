@@ -30,6 +30,7 @@ struct JobModel {
   double net_demand = 0;   // average bytes/s on the network while running
   double cpu_util = 0;     // exec_demand / sub-cluster executors
   double net_util = 0;
+  Seconds planned_delay = 0;  // Σ_k x_k from the planner (0 for stock)
   // Phase texture for the per-machine view (Fig. 4b): fraction of the run
   // spent fetching over the network, and the typical stage cycle length.
   double read_frac = 0.3;
@@ -78,6 +79,7 @@ JobModel model_job(const TraceJob& tj, const ReplayOptions& opt,
   const core::Evaluation ev = eval.evaluate(delay);
   JobModel m;
   m.dedicated = std::max(ev.jct, slot);
+  for (Seconds x : delay) m.planned_delay += x;
 
   const core::PerfModel& pm = eval.model();
   double exec_seconds = 0;
@@ -257,6 +259,7 @@ ReplayResult replay(const std::vector<TraceJob>& jobs,
       jr.dedicated_time = models[idx].dedicated;
       jr.cpu_util = models[idx].cpu_util;
       jr.net_util = models[idx].net_util;
+      jr.planned_delay = models[idx].planned_delay;
     }
     record_sample(now);
   }

@@ -56,6 +56,9 @@ struct ReplayJobResult {
   Seconds dedicated_time = 0; // R_i: JCT on a dedicated cluster
   double cpu_util = 0;        // average utilization of the job's share (0..1)
   double net_util = 0;
+  // Σ_k x_k the planner injected into this job (0 for stock strategies) —
+  // the stagger budget the fleet-level analytics aggregate.
+  Seconds planned_delay = 0;
 };
 
 struct ReplayResult {

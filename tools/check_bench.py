@@ -23,17 +23,47 @@ import sys
 import tempfile
 
 
+def load_json(path, what):
+    """Read a JSON file, dying with a clear one-line message on any problem."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        sys.exit(
+            f"error: {what} file '{path}' does not exist — "
+            "did the benchmark run and write its output?"
+        )
+    except json.JSONDecodeError as e:
+        sys.exit(f"error: {what} file '{path}' is not valid JSON: {e}")
+    except OSError as e:
+        sys.exit(f"error: cannot read {what} file '{path}': {e}")
+
+
+def field(entry, key, context):
+    """entry[key], dying with the offending record instead of a KeyError."""
+    if key not in entry:
+        sys.exit(
+            f"error: {context} record is missing key '{key}' "
+            f"(record: {json.dumps(entry)}) — benchmark output format changed?"
+        )
+    return entry[key]
+
+
 def load_results(args):
     if args.json:
-        with open(args.json) as f:
-            return json.load(f)
+        return load_json(args.json, "results")
     if not args.bench:
         sys.exit("error: need --bench <binary> or --json <results.json>")
+    bench = os.path.abspath(args.bench)
+    if not os.path.exists(bench):
+        sys.exit(f"error: benchmark binary '{bench}' does not exist")
     with tempfile.TemporaryDirectory() as tmp:
         out = os.path.join(tmp, "BENCH_planner.json")
-        subprocess.run([os.path.abspath(args.bench), out], check=True)
-        with open(out) as f:
-            return json.load(f)
+        try:
+            subprocess.run([bench, out], check=True)
+        except subprocess.CalledProcessError as e:
+            sys.exit(f"error: benchmark '{bench}' exited with {e.returncode}")
+        return load_json(out, "benchmark output")
 
 
 def main():
@@ -53,8 +83,7 @@ def main():
     args = ap.parse_args()
 
     results = load_results(args)
-    with open(args.baseline) as f:
-        baseline = json.load(f)
+    baseline = load_json(args.baseline, "baseline")
 
     failures = []
     checked = 0
@@ -87,25 +116,36 @@ def main():
 
     plan_floors = baseline.get("planner_evals_per_sec", {})
     for entry in results.get("planner", []):
-        if entry["threads"] != 1:
+        if field(entry, "threads", "planner") != 1:
             continue  # floors are calibrated for the single-thread path
-        floor = plan_floors.get(entry["workload"])
+        workload = field(entry, "workload", "planner")
+        floor = plan_floors.get(workload)
         if floor is not None:
-            check(f"planner[{entry['workload']}] evals/s", entry["evals_per_sec"], floor)
+            check(
+                f"planner[{workload}] evals/s",
+                field(entry, "evals_per_sec", "planner"),
+                floor,
+            )
 
     replay_floor = baseline.get("replay_jobs_per_sec")
     for entry in results.get("replay", []):
-        if entry["threads"] == 1 and replay_floor is not None:
-            check("replay jobs/s", entry["jobs_per_sec"], replay_floor)
+        if field(entry, "threads", "replay") == 1 and replay_floor is not None:
+            check("replay jobs/s", field(entry, "jobs_per_sec", "replay"), replay_floor)
 
-    obs_entries = {e["mode"]: e for e in results.get("obs", [])}
+    obs_entries = {field(e, "mode", "obs"): e for e in results.get("obs", [])}
     off_floor = baseline.get("obs_runs_per_sec_off")
     if off_floor is not None and "off" in obs_entries:
-        check("obs[off] runs/s", obs_entries["off"]["runs_per_sec"], off_floor)
+        check(
+            "obs[off] runs/s",
+            field(obs_entries["off"], "runs_per_sec", "obs"),
+            off_floor,
+        )
     for mode, ceiling in baseline.get("obs_overhead_max_pct", {}).items():
         if mode in obs_entries:
             check_ceiling(
-                f"obs[{mode}] overhead %", obs_entries[mode]["overhead_pct"], ceiling
+                f"obs[{mode}] overhead %",
+                field(obs_entries[mode], "overhead_pct", "obs"),
+                ceiling,
             )
 
     if checked == 0:
