@@ -22,9 +22,9 @@ ExecutorPool::ExecutorPool(Simulator& sim, std::vector<int> slots_per_node,
   offline_.assign(slots_.size(), false);
 }
 
-SlotRequestId ExecutorPool::request(std::function<void(NodeId)> granted,
-                                    NodeId pinned_node, int priority) {
-  DS_CHECK(granted != nullptr);
+SlotRequestId ExecutorPool::request(GrantFn granted, NodeId pinned_node,
+                                    int priority) {
+  DS_CHECK(static_cast<bool>(granted));
   if (pinned_node >= 0)
     DS_CHECK_MSG(pinned_node < num_nodes(), "pinned node out of range");
   const SlotRequestId id = next_id_++;
@@ -89,8 +89,10 @@ void ExecutorPool::pump() {
   sim_.schedule_after(0, [this] {
     pump_scheduled_ = false;
     // Decide all grants first, then fire callbacks: a callback may re-enter
-    // request()/release(), which must not invalidate our iteration.
-    std::vector<std::pair<std::function<void(NodeId)>, NodeId>> grants;
+    // request()/release(), which must not invalidate our iteration. The
+    // scratch vector is detached while callbacks run.
+    std::vector<std::pair<GrantFn, NodeId>> grants = std::move(grants_scratch_);
+    grants.clear();
     for (auto it = waiters_.begin(); it != waiters_.end();) {
       NodeId target = -1;
       if (it->pinned_node >= 0) {
@@ -116,6 +118,8 @@ void ExecutorPool::pump() {
     }
     queued_gauge_.set(static_cast<double>(waiters_.size()));
     for (auto& [granted, node] : grants) granted(node);
+    grants.clear();
+    grants_scratch_ = std::move(grants);
   });
 }
 

@@ -11,15 +11,20 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
+#include <utility>
 #include <vector>
 
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "util/inline_function.h"
 
 namespace ds::sim {
 
 using SlotRequestId = std::uint64_t;
+
+// Grant callbacks use the same small-buffer-optimized callable as the event
+// core: no per-request allocation as long as captures fit the inline buffer.
+using GrantFn = util::InlineFunction<void(NodeId), kEventFnCapacity>;
 
 class ExecutorPool {
  public:
@@ -33,8 +38,8 @@ class ExecutorPool {
   // within a priority level (Spark's FIFO pool generalised — stage
   // priorities let Graphene-style critical-path-first scheduling reorder the
   // queue). Optionally restrict to a single node with `pinned_node` >= 0.
-  SlotRequestId request(std::function<void(NodeId)> granted,
-                        NodeId pinned_node = -1, int priority = 0);
+  SlotRequestId request(GrantFn granted, NodeId pinned_node = -1,
+                        int priority = 0);
   // Drop a queued request. No-op if it was already granted or unknown.
   void cancel(SlotRequestId id);
 
@@ -64,7 +69,7 @@ class ExecutorPool {
  private:
   struct Waiter {
     SlotRequestId id;
-    std::function<void(NodeId)> granted;
+    GrantFn granted;
     NodeId pinned_node;
     int priority;
     SimTime requested_at;  // for the slot-wait histogram
@@ -79,6 +84,7 @@ class ExecutorPool {
   std::deque<Waiter> waiters_;
   SlotRequestId next_id_ = 1;
   bool pump_scheduled_ = false;
+  std::vector<std::pair<GrantFn, NodeId>> grants_scratch_;
   obs::Counter requests_;
   obs::Counter grants_;
   obs::Gauge queued_gauge_;

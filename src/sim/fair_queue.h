@@ -1,11 +1,15 @@
 // A fluid resource of fixed capacity shared *equally* among active claims —
 // the paper's model for disk bandwidth (D^w / #writers). Progress is advanced
 // lazily; a single pending completion event is kept per queue.
+//
+// Claims live in a slab with an intrusive submission-ordered list and
+// generation-tagged handles (same layout as the event core and the network
+// fabric): submit/cancel/complete allocate nothing in steady state, and
+// completion callbacks fire in submission order by construction.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
+#include <vector>
 
 #include "sim/simulator.h"
 #include "sim/time.h"
@@ -25,12 +29,13 @@ class FairQueue {
 
   // Submit `volume` bytes of work; `on_complete` fires when they have been
   // fully serviced. Zero-volume claims complete on the next event.
-  ClaimId submit(Bytes volume, std::function<void()> on_complete);
+  ClaimId submit(Bytes volume, EventFn on_complete);
 
-  // Abort a pending claim (no completion callback). Unknown id: no-op.
+  // Abort a pending claim (no completion callback). Stale or unknown id:
+  // no-op.
   void cancel(ClaimId id);
 
-  std::size_t active() const { return claims_.size(); }
+  std::size_t active() const { return num_active_; }
   BytesPerSec capacity() const { return capacity_; }
   // Aggregate service rate right now (capacity if busy, else 0).
   BytesPerSec current_rate() const;
@@ -43,9 +48,17 @@ class FairQueue {
 
  private:
   struct Claim {
-    Bytes remaining;
-    std::function<void()> on_complete;
+    Bytes remaining = 0;
+    EventFn on_complete;
+    std::uint32_t gen = 1;
+    std::int32_t prev = -1;
+    std::int32_t next = -1;
+    bool active = false;
   };
+
+  std::int32_t lookup(ClaimId id) const;
+  std::int32_t alloc_slot();
+  void free_slot(std::int32_t slot);
 
   void advance_to_now();
   void reschedule();
@@ -53,11 +66,17 @@ class FairQueue {
 
   Simulator& sim_;
   const BytesPerSec capacity_;
-  std::unordered_map<ClaimId, Claim> claims_;
-  ClaimId next_id_ = 1;
+
+  std::vector<Claim> slab_;
+  std::vector<std::int32_t> free_slots_;
+  std::int32_t head_ = -1;
+  std::int32_t tail_ = -1;
+  std::size_t num_active_ = 0;
+
   SimTime last_advance_ = 0;
   EventId pending_event_ = kInvalidEvent;
   Bytes serviced_ = 0;
+  std::vector<EventFn> done_scratch_;
 };
 
 }  // namespace ds::sim

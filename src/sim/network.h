@@ -8,12 +8,20 @@
 // starts or finishes. This yields exactly the equal-share behaviour the
 // paper's Eq. (1) assumes when parallel stages contend for a link, plus
 // realistic incast when many reducers pull from one upstream node.
+//
+// Hot-path layout (this fabric is ~90% of engine-run time, so it follows the
+// same discipline as the event core): flows live in a slab with an intrusive
+// insertion-ordered list (handles are generation-tagged, cancel is O(1) and
+// safe on stale ids), the water-filling works out of persistent scratch
+// arenas (MaxMinScratch, flat CSR port->flow lists), and port capacities are
+// cached between link-scale changes — the steady state allocates nothing per
+// flow start/finish/cancel. Flow enumeration order is the insertion order,
+// which also makes completion-callback order structurally deterministic
+// (the old map-based fabric had to sort by id to get the same guarantee).
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/simulator.h"
@@ -33,7 +41,7 @@ struct FlowSpec {
   // multiple distinct groups lose aggregate efficiency (see group_penalty).
   // -1 = anonymous: all anonymous flows count as one group.
   int group = -1;
-  std::function<void()> on_complete;
+  EventFn on_complete;
 };
 
 // Max-min fair allocation: flow i uses the ports in flow_ports[i] (unused
@@ -42,6 +50,25 @@ struct FlowSpec {
 using FlowPorts = std::array<int, 3>;
 std::vector<double> max_min_allocate(const std::vector<FlowPorts>& flow_ports,
                                      const std::vector<double>& caps);
+
+// Reusable arenas for the water-filling pass: flat CSR port->flow lists plus
+// the per-iteration residual state. Callers that allocate once and reuse
+// (the fabric) run the allocator with zero steady-state allocations.
+struct MaxMinScratch {
+  std::vector<double> rates;      // result, indexed like flow_ports
+  std::vector<double> cap_rem;    // residual capacity per port
+  std::vector<int> port_count;    // unfrozen flows per port
+  std::vector<int> offset;        // CSR offsets (np + 1)
+  std::vector<int> cursor;        // CSR fill cursors
+  std::vector<int> items;         // CSR flow indices, ascending per port
+  std::vector<int> used_ports;    // ports with any flow, ascending
+  std::vector<char> frozen;       // per-flow
+};
+
+// Same algorithm and floating-point operation order as max_min_allocate,
+// but every intermediate lives in `s` (result in s.rates).
+void max_min_allocate_into(const std::vector<FlowPorts>& flow_ports,
+                           const std::vector<double>& caps, MaxMinScratch& s);
 
 class NetworkFabric {
  public:
@@ -70,11 +97,12 @@ class NetworkFabric {
   NetworkFabric& operator=(const NetworkFabric&) = delete;
 
   FlowId start_flow(FlowSpec spec);
-  // Abort a flow without firing its completion callback. Unknown id: no-op.
+  // Abort a flow without firing its completion callback. Stale or unknown
+  // ids (already completed, already cancelled) are a safe no-op.
   void cancel(FlowId id);
 
   int num_nodes() const { return static_cast<int>(nic_bw_.size()); }
-  std::size_t active_flows() const { return flows_.size(); }
+  std::size_t active_flows() const { return num_active_; }
   BytesPerSec nic_bw(NodeId n) const { return nic_bw_.at(static_cast<std::size_t>(n)); }
 
   // Scale node n's access link (egress + ingress) to `factor` × its
@@ -95,14 +123,19 @@ class NetworkFabric {
   void sync() { advance_to_now(); }
 
  private:
+  // Slab node: flow state + intrusive list links + handle generation.
   struct Flow {
-    NodeId src;
-    NodeId dst;
-    Bytes remaining;
-    int group;
+    NodeId src = 0;
+    NodeId dst = 0;
+    Bytes remaining = 0;
+    int group = -1;
     BytesPerSec rate = 0;
-    std::function<void()> on_complete;
+    EventFn on_complete;
     SimTime started = 0;  // for the flow-duration histogram
+    std::uint32_t gen = 1;
+    std::int32_t prev = -1;
+    std::int32_t next = -1;
+    bool active = false;
   };
 
   int egress_port(NodeId n) const { return n; }
@@ -114,8 +147,18 @@ class NetworkFabric {
   int wan_port(int src_site, int dst_site) const {
     return 3 * num_nodes() + src_site * num_sites_ + dst_site;
   }
+  std::size_t num_ports() const {
+    return static_cast<std::size_t>(3 * num_nodes() + num_sites_ * num_sites_);
+  }
+
+  // Slot whose (slot, gen) matches `id`, or -1 for stale/unknown handles.
+  std::int32_t lookup(FlowId id) const;
+  std::int32_t alloc_slot();
+  // Unlink + recycle; retires every outstanding handle to the slot.
+  void free_slot(std::int32_t slot);
 
   void advance_to_now();
+  void rebuild_caps();
   void reallocate();
   void reschedule();
   void on_completion_event();
@@ -128,11 +171,28 @@ class NetworkFabric {
   std::vector<int> site_of_;
   BytesPerSec wan_bw_ = 0;
   int num_sites_ = 1;
-  std::unordered_map<FlowId, Flow> flows_;
-  FlowId next_id_ = 1;
+
+  std::vector<Flow> slab_;
+  std::vector<std::int32_t> free_slots_;
+  std::int32_t head_ = -1;
+  std::int32_t tail_ = -1;
+  std::size_t num_active_ = 0;
+
   SimTime last_advance_ = 0;
   EventId pending_event_ = kInvalidEvent;
   Bytes delivered_ = 0;
+
+  // Persistent scratch (see header comment): rebuilt in place every
+  // reallocation, never reallocated in steady state.
+  std::vector<FlowPorts> sc_ports_;
+  std::vector<std::int32_t> sc_slots_;
+  std::vector<double> caps_base_;
+  bool caps_dirty_ = true;
+  std::vector<double> sc_caps_;
+  std::vector<int> pg_count_, pg_offset_, pg_cursor_, pg_items_;
+  MaxMinScratch mm_;
+  std::vector<EventFn> done_scratch_;
+
   obs::Counter flows_started_;
   obs::Counter flows_completed_;
   obs::Gauge bytes_delivered_;

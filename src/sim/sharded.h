@@ -1,0 +1,128 @@
+// Parallel simulation at cluster scale, two complementary shapes:
+//
+// 1. ShardedRunner — embarrassingly parallel ensembles. Each index builds a
+//    fully independent simulated world (its own Simulator, fabric, engine)
+//    and returns a result into a per-index slot; indices run across a
+//    caller-participating ThreadPool. Because every world is self-contained
+//    and the merge happens in index order, results are bit-identical for
+//    every thread count, including 1. This is the right tool for replay
+//    ensembles, seed sweeps, and per-failure-domain what-if runs — the
+//    dominant "cluster-scale" workloads here, where jobs/scenarios are
+//    independent by construction.
+//
+// 2. ShardedSimulation — conservative time-window synchronization for worlds
+//    that *do* interact. K shards each own a private Simulator; simulated
+//    time advances in lockstep windows [T, T + lookahead) where T is the
+//    global minimum next-event time. Within a window shards run in parallel
+//    and may post events to each other, but only at t >= sender-now +
+//    lookahead — which is >= the window end, so no shard can receive an
+//    event in its own past (the classic conservative-DES safety argument:
+//    lookahead is the minimum cross-shard latency, here the network
+//    propagation floor). At the window barrier all cross-shard messages are
+//    drained in (time, from-shard, sequence) order into the destination
+//    queues, making delivery order — and therefore the whole run —
+//    deterministic regardless of thread count or barrier timing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "util/thread_pool.h"
+
+namespace ds::sim {
+
+// Deterministic ensemble executor. `threads <= 0` = hardware concurrency;
+// a pool of size 1 runs everything inline on the caller.
+class ShardedRunner {
+ public:
+  explicit ShardedRunner(int threads = 0) : pool_(threads) {}
+
+  int threads() const { return pool_.size(); }
+
+  // Run make(i) for every i in [0, n) across the pool; out[i] = make(i).
+  // make must not touch state shared across indices (each index builds its
+  // own world). Results are positioned by index, so any reduction done on
+  // the returned vector is bit-identical for every thread count.
+  template <typename T, typename Fn>
+  std::vector<T> run(std::size_t n, Fn&& make) {
+    std::vector<T> out(n);
+    pool_.parallel_for(n, [&](std::size_t i) { out[i] = make(i); });
+    return out;
+  }
+
+  ds::ThreadPool& pool() { return pool_; }
+
+ private:
+  ds::ThreadPool pool_;
+};
+
+// Conservative time-window coupling of K private Simulators.
+class ShardedSimulation {
+ public:
+  struct Options {
+    int shards = 1;
+    // ThreadPool size for the per-window fan-out; <= 0 = hardware.
+    int threads = 0;
+    // Minimum cross-shard event latency (seconds). Posts from inside a
+    // running window must target t >= sender-now + lookahead; larger values
+    // mean wider windows and less synchronization overhead.
+    Seconds lookahead = 1e-3;
+  };
+
+  explicit ShardedSimulation(Options opt);
+
+  int shards() const { return static_cast<int>(sims_.size()); }
+  Seconds lookahead() const { return opt_.lookahead; }
+  Simulator& shard(int s) { return *sims_.at(static_cast<std::size_t>(s)); }
+  const Simulator& shard(int s) const {
+    return *sims_.at(static_cast<std::size_t>(s));
+  }
+
+  // Post `fn` to shard `to` at absolute time `t`. From inside a window
+  // (i.e. from an event running on shard `from`) `t` must respect the
+  // lookahead; from outside (setup code, between runs) any future time is
+  // fine. Same-shard posts may use the shard's queue directly instead.
+  void post(int from, int to, SimTime t, EventFn fn);
+
+  // Advance every shard to global time `t` (windows of at most `lookahead`).
+  void run_until(SimTime t);
+  // Run until no shard has pending events and every mailbox is drained.
+  // Returns the maximum shard time reached.
+  SimTime run();
+
+  // Total events processed across all shards.
+  std::size_t events_processed() const;
+
+ private:
+  struct Message {
+    SimTime t = 0;
+    int from = 0;
+    int to = 0;
+    std::uint64_t seq = 0;
+    EventFn fn;
+  };
+  // outbox_[from]: written only by shard `from` (single-threaded within a
+  // window), drained only at barriers — no locking anywhere.
+  struct Outbox {
+    std::vector<Message> msgs;
+    std::uint64_t next_seq = 0;
+  };
+
+  // Earliest pending work (next event over all shards + undelivered mail),
+  // or -1 if fully idle.
+  SimTime next_work_time() const;
+  void deliver_all();
+  void run_window(SimTime window_end);
+
+  Options opt_;
+  std::vector<std::unique_ptr<Simulator>> sims_;
+  std::vector<Outbox> outbox_;
+  std::vector<Message> deliver_scratch_;
+  ds::ThreadPool pool_;
+  bool in_window_ = false;
+};
+
+}  // namespace ds::sim

@@ -4,7 +4,7 @@
 
 namespace ds::sim {
 
-EventId Simulator::schedule_at(SimTime t, std::function<void()> fn) {
+EventId Simulator::schedule_at(SimTime t, EventFn fn) {
   // Allow a hair of backwards slop from floating-point arithmetic but clamp
   // to now(): time never runs backwards.
   DS_CHECK_MSG(t >= now_ - 1e-9, "scheduling into the past: t=" << t
@@ -12,7 +12,7 @@ EventId Simulator::schedule_at(SimTime t, std::function<void()> fn) {
   return queue_.push(std::max(t, now_), std::move(fn));
 }
 
-EventId Simulator::schedule_after(Seconds dt, std::function<void()> fn) {
+EventId Simulator::schedule_after(Seconds dt, EventFn fn) {
   DS_CHECK_MSG(dt >= -1e-9, "negative delay " << dt);
   return schedule_at(now_ + std::max(dt, 0.0), std::move(fn));
 }
@@ -38,7 +38,7 @@ bool Simulator::run_until(SimTime t) {
 bool Simulator::step() {
   if (queue_.empty()) return false;
   SimTime t = 0;
-  auto fn = queue_.pop(t);
+  EventFn fn = queue_.pop(t);
   DS_CHECK(t >= now_ - 1e-9);
   now_ = std::max(now_, t);
   ++processed_;

@@ -1,10 +1,10 @@
-// Discrete-event simulator driver. Single-threaded by design: determinism and
-// debuggability matter more here than parallel speedup, and a run of the full
-// 30-node prototype experiment completes in well under a second (measured in
-// bench_engine_throughput).
+// Discrete-event simulator driver. Each Simulator instance is single-
+// threaded by design — determinism and debuggability matter more here than
+// intra-run speedup; cluster-scale throughput comes from running *many*
+// instances in parallel (sim/sharded.h), one per shard, each owning its own
+// Simulator. Callbacks are InlineFunction (see event_queue.h): the steady
+// state allocates nothing per event.
 #pragma once
-
-#include <functional>
 
 #include "obs/obs.h"
 #include "sim/event_queue.h"
@@ -24,9 +24,9 @@ class Simulator {
   SimTime now() const { return now_; }
 
   // Schedule at an absolute time (must be >= now()).
-  EventId schedule_at(SimTime t, std::function<void()> fn);
+  EventId schedule_at(SimTime t, EventFn fn);
   // Schedule `dt` seconds from now (dt >= 0).
-  EventId schedule_after(Seconds dt, std::function<void()> fn);
+  EventId schedule_after(Seconds dt, EventFn fn);
   void cancel(EventId id);
 
   // Run until the event queue is empty. Returns the final time.
@@ -39,6 +39,8 @@ class Simulator {
 
   std::size_t events_processed() const { return processed_; }
   std::size_t events_pending() const { return queue_.size(); }
+  // Time of the earliest pending event; only valid when events_pending() > 0.
+  SimTime next_event_time() const { return queue_.next_time(); }
 
  private:
   EventQueue queue_;

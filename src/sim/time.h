@@ -3,6 +3,7 @@
 // identical order.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/units.h"

@@ -7,6 +7,8 @@
 
 #include "core/evaluator.h"
 #include "core/profile.h"
+#include "engine/job_run.h"
+#include "sim/sharded.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -31,15 +33,17 @@ struct JobModel {
   double cpu_util = 0;     // exec_demand / sub-cluster executors
   double net_util = 0;
   Seconds planned_delay = 0;  // Σ_k x_k from the planner (0 for stock)
+  std::vector<Seconds> delay;  // the planner's X (engine validation reuses it)
   // Phase texture for the per-machine view (Fig. 4b): fraction of the run
   // spent fetching over the network, and the typical stage cycle length.
   double read_frac = 0.3;
   Seconds phase_cycle = 60;
 };
 
-JobModel model_job(const TraceJob& tj, const ReplayOptions& opt,
-                   std::uint64_t seed) {
-  // The job's own sub-cluster (even partitioning, §5.3).
+// The job's own sub-cluster (even partitioning, §5.3) and the reference
+// rates that normalize the trace into DAG work volumes on it.
+std::pair<sim::ClusterSpec, ReferenceRates> sub_cluster_for(
+    const ReplayOptions& opt) {
   sim::ClusterSpec cs = opt.cluster;
   cs.num_workers = std::min(cs.num_workers, opt.machines_per_job);
   ReferenceRates ref;
@@ -48,6 +52,12 @@ JobModel model_job(const TraceJob& tj, const ReplayOptions& opt,
   ref.num_workers = cs.num_workers;
   ref.executors = static_cast<double>(cs.total_executors());
   ref.tasks_per_node = cs.executors_per_worker;
+  return {cs, ref};
+}
+
+JobModel model_job(const TraceJob& tj, const ReplayOptions& opt,
+                   std::uint64_t seed) {
+  const auto [cs, ref] = sub_cluster_for(opt);
   const dag::JobDag dag = to_job_dag(tj, ref);
   const core::JobProfile profile = core::JobProfile::from(dag, cs);
 
@@ -80,6 +90,7 @@ JobModel model_job(const TraceJob& tj, const ReplayOptions& opt,
   JobModel m;
   m.dedicated = std::max(ev.jct, slot);
   for (Seconds x : delay) m.planned_delay += x;
+  m.delay = std::move(delay);
 
   const core::PerfModel& pm = eval.model();
   double exec_seconds = 0;
@@ -155,6 +166,28 @@ ReplayResult replay(const std::vector<TraceJob>& jobs,
     models[i] = model_job(jobs[i], options, options.seed + i);
   });
 
+  // 1b) Engine validation: replay each job's planned schedule through the
+  //     real discrete-event engine on its dedicated sub-cluster. Every index
+  //     is a self-contained world (own Simulator, Cluster, JobRun), so the
+  //     ShardedRunner fan-out is bit-identical for any shard count.
+  std::vector<Seconds> engine_jcts;
+  if (options.engine_validate) {
+    sim::ShardedRunner runner(options.engine_shards);
+    engine_jcts = runner.run<Seconds>(jobs.size(), [&](std::size_t i) {
+      const auto [cs, ref] = sub_cluster_for(options);
+      sim::Simulator sim;
+      sim::Cluster cluster(sim, cs, options.seed + i);
+      const dag::JobDag dag = to_job_dag(jobs[i], ref);
+      engine::RunOptions ro;
+      ro.seed = options.seed + i;
+      ro.plan.delay = models[i].delay;
+      engine::JobRun run(cluster, dag, std::move(ro));
+      run.start();
+      sim.run();
+      return run.result().jct;
+    });
+  }
+
   // Whole-cluster capacities for the sharing/utilization accounting.
   const auto& cs = options.cluster;
   const double exec_capacity = static_cast<double>(cs.total_executors());
@@ -185,6 +218,8 @@ ReplayResult replay(const std::vector<TraceJob>& jobs,
 
   ReplayResult res;
   res.jobs.resize(jobs.size());
+  for (std::size_t i = 0; i < engine_jcts.size(); ++i)
+    res.jobs[i].engine_jct = engine_jcts[i];
   std::set<std::size_t> active;
   double sum_exec_demand = 0;
   double sum_net_demand = 0;

@@ -47,6 +47,14 @@ struct ReplayOptions : CommonOptions {
   int coarse_candidates = 12;
   int sweeps = 1;
   int evaluator_slots = 150;  // target #slots per evaluation
+  // Engine validation: additionally run every job's planned schedule through
+  // the real discrete-event engine (engine::JobRun) on its dedicated
+  // sub-cluster, fanned out across `engine_shards` worker threads via
+  // sim::ShardedRunner (each job is a fully independent simulated world).
+  // The engine-measured JCT lands in ReplayJobResult::engine_jct. Results
+  // are bit-identical for any shard count, including 1.
+  bool engine_validate = false;
+  int engine_shards = 1;  // <= 0 = hardware concurrency
 };
 
 struct ReplayJobResult {
@@ -59,6 +67,10 @@ struct ReplayJobResult {
   // Σ_k x_k the planner injected into this job (0 for stock strategies) —
   // the stagger budget the fleet-level analytics aggregate.
   Seconds planned_delay = 0;
+  // Dedicated-sub-cluster JCT measured by the discrete-event engine
+  // (ReplayOptions::engine_validate only; 0 otherwise). Comparing against
+  // dedicated_time quantifies the analytic evaluator's model error.
+  Seconds engine_jct = 0;
 };
 
 struct ReplayResult {

@@ -1,0 +1,148 @@
+// Small-buffer-optimized move-only callable — the event core's callback type.
+//
+// std::function heap-allocates any capture list larger than two pointers,
+// which made every simulator event an allocation (and its cancellation a
+// leak into the old lazy-deletion map). InlineFunction<R(Args...), Capacity>
+// stores the callable inline whenever it fits in `Capacity` bytes, is
+// nothrow-move-constructible and no more than pointer-aligned — true for
+// every sim/engine/fault lambda in this codebase (the largest,
+// [this, s, t, req, epoch] in JobRun::enqueue_task, is 32 bytes). Callables
+// that do not fit still work through a heap fallback, so correctness never
+// depends on the capture size; the fallback bumps a global counter that the
+// allocation-regression tests pin to zero for the hot paths.
+//
+// Differences from std::function, all deliberate:
+//   * move-only (events are scheduled once and fired once — copying a
+//     callback is always a bug here);
+//   * no target_type()/target() RTTI;
+//   * invoking an empty InlineFunction is undefined (the simulator checks
+//     non-emptiness at push time, once, instead of per call).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ds::util {
+
+namespace detail {
+// Heap-fallback constructions since process start. A perf regression gate,
+// not a correctness mechanism: tests assert the sim hot path never bumps it.
+inline std::atomic<std::uint64_t> inline_function_heap_allocs{0};
+}  // namespace detail
+
+inline std::uint64_t inline_function_heap_allocs() {
+  return detail::inline_function_heap_allocs.load(std::memory_order_relaxed);
+}
+
+template <typename Signature, std::size_t Capacity = 40>
+class InlineFunction;  // primary template left undefined on purpose
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+  template <typename F>
+  static constexpr bool fits_inline =
+      sizeof(F) <= Capacity && alignof(F) <= alignof(void*) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+ public:
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* p, Args... args) -> R {
+        return (*std::launder(reinterpret_cast<Fn*>(p)))(
+            std::forward<Args>(args)...);
+      };
+      manage_ = [](void* dst, void* src) {
+        if (dst != nullptr) {  // move src -> dst
+          ::new (dst) Fn(std::move(*std::launder(reinterpret_cast<Fn*>(src))));
+        }
+        std::launder(reinterpret_cast<Fn*>(src))->~Fn();
+      };
+    } else {
+      detail::inline_function_heap_allocs.fetch_add(1,
+                                                    std::memory_order_relaxed);
+      ptr() = new Fn(std::forward<F>(f));
+      invoke_ = [](void* p, Args... args) -> R {
+        return (**static_cast<Fn**>(p))(std::forward<Args>(args)...);
+      };
+      manage_ = [](void* dst, void* src) {
+        if (dst != nullptr) {
+          *static_cast<Fn**>(dst) = *static_cast<Fn**>(src);
+        } else {
+          delete *static_cast<Fn**>(src);
+        }
+      };
+    }
+  }
+
+  InlineFunction(InlineFunction&& o) noexcept { steal(o); }
+
+  InlineFunction& operator=(InlineFunction&& o) noexcept {
+    if (this != &o) {
+      reset();
+      steal(o);
+    }
+    return *this;
+  }
+
+  InlineFunction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  R operator()(Args... args) {
+    return invoke_(buf_, std::forward<Args>(args)...);
+  }
+
+  static constexpr std::size_t capacity() { return Capacity; }
+
+ private:
+  void*& ptr() { return *reinterpret_cast<void**>(buf_); }
+
+  void reset() {
+    if (manage_ != nullptr) manage_(nullptr, buf_);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  // Move o's target into our (empty) storage and leave o empty.
+  void steal(InlineFunction& o) {
+    invoke_ = o.invoke_;
+    manage_ = o.manage_;
+    if (manage_ != nullptr) manage_(buf_, o.buf_);
+    o.invoke_ = nullptr;
+    o.manage_ = nullptr;
+  }
+
+  using Invoke = R (*)(void*, Args...);
+  // Move the target from src into dst, destroying src's copy; dst == nullptr
+  // destroys only (one pointer covers both ops — keeps the footprint at two
+  // words beyond the buffer).
+  using Manage = void (*)(void* dst, void* src);
+
+  alignas(void*) unsigned char buf_[Capacity];
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+};
+
+}  // namespace ds::util

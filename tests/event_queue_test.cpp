@@ -105,5 +105,73 @@ TEST(Simulator, ZeroDelayFiresAtCurrentTime) {
   EXPECT_DOUBLE_EQ(at, 4.0);
 }
 
+// --- indexed-heap core: exact size, true removal, generation safety ---
+
+TEST(EventQueue, SizeIsExactThroughCancel) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) ids.push_back(q.push(i, [] {}));
+  EXPECT_EQ(q.size(), 100u);
+  for (int i = 0; i < 100; i += 2) EXPECT_TRUE(q.cancel(ids[static_cast<std::size_t>(i)]));
+  // Cancelled entries are really gone, not tombstoned.
+  EXPECT_EQ(q.size(), 50u);
+  SimTime t = 0;
+  std::size_t popped = 0;
+  while (!q.empty()) {
+    (void)q.pop(t);
+    ++popped;
+  }
+  EXPECT_EQ(popped, 50u);
+}
+
+TEST(EventQueue, StaleHandleAfterSlotReuseIsRejected) {
+  EventQueue q;
+  const EventId a = q.push(1.0, [] {});
+  EXPECT_TRUE(q.cancel(a));
+  // The slot is recycled with a bumped generation: the old handle must not
+  // cancel the new occupant.
+  const EventId b = q.push(2.0, [] {});
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(q.cancel(a));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.cancel(b));
+}
+
+TEST(EventQueue, CancelledTiesPreserveInsertionOrderOfSurvivors) {
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i)
+    ids.push_back(sim.schedule_at(1.0, [&, i] { order.push_back(i); }));
+  for (int i = 1; i < 10; i += 2) sim.cancel(ids[static_cast<std::size_t>(i)]);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 4, 6, 8}));
+}
+
+TEST(EventQueue, MillionEventChurnDoesNotGrowMemory) {
+  // Regression for the old lazy-deletion queue, where every cancel left a
+  // tombstone in the heap and an entry in the side map: a reschedule-heavy
+  // workload (the fabric cancels ~half of all pushes) grew without bound.
+  // With true removal the slab stays bounded by the live watermark.
+  EventQueue q;
+  constexpr int kChurn = 1'000'000;
+  constexpr int kLive = 64;
+  std::vector<EventId> live;
+  double t = 0;
+  for (int i = 0; i < kLive; ++i) live.push_back(q.push(t += 1.0, [] {}));
+  const std::size_t high_water = q.slab_capacity();
+  std::size_t replaced = 0;
+  for (int i = 0; i < kChurn; ++i) {
+    const std::size_t victim = static_cast<std::size_t>(i) % live.size();
+    EXPECT_TRUE(q.cancel(live[victim]));
+    live[victim] = q.push(t += 1.0, [] {});
+    ++replaced;
+  }
+  EXPECT_EQ(replaced, static_cast<std::size_t>(kChurn));
+  EXPECT_EQ(q.size(), static_cast<std::size_t>(kLive));
+  // cancel-then-push reuses the freed slot: zero slab growth over 1M events.
+  EXPECT_EQ(q.slab_capacity(), high_water);
+}
+
 }  // namespace
 }  // namespace ds::sim

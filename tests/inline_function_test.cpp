@@ -1,0 +1,100 @@
+#include "util/inline_function.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace ds::util {
+namespace {
+
+using Fn = InlineFunction<int(int), 40>;
+
+TEST(InlineFunction, CallsInlineCallable) {
+  int base = 10;
+  Fn f = [&base](int x) { return base + x; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_EQ(f(5), 15);
+}
+
+TEST(InlineFunction, EmptyAndNullptrAreFalsy) {
+  Fn f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  f = [](int x) { return x; };
+  EXPECT_TRUE(static_cast<bool>(f));
+  f = nullptr;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InlineFunction, SmallCaptureDoesNotAllocate) {
+  const std::size_t before = inline_function_heap_allocs();
+  long a = 1, b = 2, c = 3, d = 4;  // 32 bytes: fits the 40-byte buffer
+  Fn f = [a, b, c, d](int x) { return static_cast<int>(a + b + c + d) + x; };
+  EXPECT_EQ(f(0), 10);
+  Fn g = std::move(f);
+  EXPECT_EQ(g(1), 11);
+  EXPECT_EQ(inline_function_heap_allocs(), before);
+}
+
+TEST(InlineFunction, LargeCaptureFallsBackToHeap) {
+  const std::size_t before = inline_function_heap_allocs();
+  struct Big {
+    long v[8] = {1, 2, 3, 4, 5, 6, 7, 8};  // 64 bytes: exceeds the buffer
+  } big;
+  Fn f = [big](int x) { return static_cast<int>(big.v[7]) + x; };
+  EXPECT_EQ(f(2), 10);
+  EXPECT_EQ(inline_function_heap_allocs(), before + 1);
+  Fn g = std::move(f);  // moving a heap-backed callable just moves the pointer
+  EXPECT_EQ(g(0), 8);
+  EXPECT_EQ(inline_function_heap_allocs(), before + 1);
+}
+
+TEST(InlineFunction, MoveOnlyCaptureWorks) {
+  auto p = std::make_unique<int>(7);
+  InlineFunction<int(), 40> f = [q = std::move(p)] { return *q; };
+  EXPECT_EQ(f(), 7);
+  InlineFunction<int(), 40> g = std::move(f);
+  EXPECT_EQ(g(), 7);
+}
+
+TEST(InlineFunction, MovedFromIsEmpty) {
+  Fn f = [](int x) { return x * 2; };
+  Fn g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(g(21), 42);
+}
+
+TEST(InlineFunction, MoveAssignDestroysPrevious) {
+  auto counter = std::make_shared<int>(0);
+  struct Bump {
+    std::shared_ptr<int> c;
+    explicit Bump(std::shared_ptr<int> p) : c(std::move(p)) {}
+    Bump(Bump&& o) noexcept = default;
+    ~Bump() {
+      if (c) ++*c;
+    }
+    int operator()(int x) const { return x; }
+  };
+  Fn f{Bump(counter)};
+  const int destroyed_before = *counter;
+  f = [](int x) { return x + 1; };
+  EXPECT_GT(*counter, destroyed_before);  // previous target was destroyed
+  EXPECT_EQ(f(1), 2);
+}
+
+TEST(InlineFunction, CapacityIsAdvertised) {
+  EXPECT_EQ(Fn::capacity(), 40u);
+}
+
+TEST(InlineFunction, DestructorRunsCaptures) {
+  auto alive = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = alive;
+  {
+    InlineFunction<int(), 40> f = [p = std::move(alive)] { return *p; };
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+}  // namespace
+}  // namespace ds::util

@@ -1,0 +1,222 @@
+// Determinism and safety of the parallel simulation layer (sim/sharded.h):
+//
+//  * ShardedRunner ensembles must be bit-identical to the sequential loop
+//    for every thread count — each index is an independent world and the
+//    merge is positional.
+//  * ShardedSimulation's conservative time-window protocol must deliver
+//    cross-shard events at exactly the requested times, in (time, from,
+//    seq) order, for any shard/thread combination — and must reject posts
+//    below the lookahead horizon.
+//  * The replay engine-validation fan-out must produce identical
+//    ReplayJobResult streams for shard counts {1, 2, 8}.
+#include "sim/sharded.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "engine/job_run.h"
+#include "sim/cluster.h"
+#include "trace/replay.h"
+#include "trace/synthetic.h"
+#include "util/check.h"
+#include "workloads/workloads.h"
+
+namespace ds {
+namespace {
+
+// Full fingerprint of one engine run: every field that downstream analytics
+// read. Exact double comparison is intentional — the parallel paths must be
+// bit-identical to the sequential one, not merely close.
+using StageKey = std::tuple<double, double, double, double, double, double>;
+struct RunPrint {
+  double jct = 0;
+  std::vector<StageKey> stages;
+  bool operator==(const RunPrint&) const = default;
+};
+
+RunPrint run_engine_once(std::uint64_t seed) {
+  const auto dag = workloads::lda();
+  sim::Simulator sim;
+  sim::Cluster cluster(sim, sim::ClusterSpec::paper_prototype(), seed);
+  engine::RunOptions opt;
+  opt.seed = seed;
+  engine::JobRun run(cluster, dag, std::move(opt));
+  run.start();
+  sim.run();
+  RunPrint p;
+  p.jct = run.result().jct;
+  for (const auto& s : run.result().stages) {
+    p.stages.emplace_back(s.ready, s.submitted, s.first_launch,
+                          s.last_read_done, s.last_compute_done, s.finish);
+  }
+  return p;
+}
+
+TEST(ShardedRunner, EnsembleBitIdenticalAcrossThreadCounts) {
+  constexpr std::size_t kRuns = 8;
+  std::vector<RunPrint> sequential(kRuns);
+  for (std::size_t i = 0; i < kRuns; ++i) sequential[i] = run_engine_once(100 + i);
+
+  for (int threads : {1, 2, 8}) {
+    sim::ShardedRunner runner(threads);
+    const auto parallel = runner.run<RunPrint>(
+        kRuns, [](std::size_t i) { return run_engine_once(100 + i); });
+    ASSERT_EQ(parallel.size(), kRuns);
+    for (std::size_t i = 0; i < kRuns; ++i) {
+      EXPECT_EQ(parallel[i], sequential[i])
+          << "run " << i << " diverged at " << threads << " threads";
+    }
+  }
+}
+
+TEST(ShardedSimulation, CrossShardDeliveryAtExactTimes) {
+  std::vector<std::vector<double>> reference;
+  for (int threads : {1, 2, 8}) {
+    sim::ShardedSimulation::Options opt;
+    opt.shards = 4;
+    opt.threads = threads;
+    opt.lookahead = 0.5;
+    sim::ShardedSimulation ss(opt);
+
+    // Shard s=0..3 fires a local event at t=s, which posts a message to
+    // shard (s+1)%4 one lookahead later; each receipt reposts until t > 10.
+    std::vector<std::vector<double>> received(4);
+    struct Hop {
+      sim::ShardedSimulation* ss;
+      std::vector<std::vector<double>>* received;
+      int shard = 0;
+    };
+    std::vector<Hop> hops;
+    for (int s = 0; s < 4; ++s) hops.push_back({&ss, &received, s});
+
+    // EventFn-sized relay: capture one pointer.
+    struct Relay {
+      static void arrive(Hop* h) {
+        const double now = h->ss->shard(h->shard).now();
+        (*h->received)[static_cast<std::size_t>(h->shard)].push_back(now);
+        if (now > 10.0) return;
+        Hop* next = h - h->shard + (h->shard + 1) % 4;
+        h->ss->post(h->shard, next->shard, now + h->ss->lookahead(),
+                    [next] { arrive(next); });
+      }
+    };
+    for (int s = 0; s < 4; ++s) {
+      Hop* h = &hops[static_cast<std::size_t>(s)];
+      ss.shard(s).schedule_at(static_cast<double>(s), [h] { Relay::arrive(h); });
+    }
+    ss.run();
+
+    // Each chain hops forward by exactly one lookahead; receipt times are
+    // fully determined, independent of threads.
+    for (int s = 0; s < 4; ++s) {
+      const auto& r = received[static_cast<std::size_t>(s)];
+      ASSERT_FALSE(r.empty());
+      for (std::size_t k = 1; k < r.size(); ++k) {
+        EXPECT_GT(r[k], r[k - 1]);
+      }
+      for (double t : r) {
+        // t = origin + k * lookahead for integer k and origin in {0,1,2,3}.
+        const double frac = t - static_cast<long>(t / 0.5) * 0.5;
+        EXPECT_NEAR(std::min(frac, 0.5 - frac), 0.0, 1e-9);
+      }
+    }
+    // Thread-count invariance: compare against the single-thread reference.
+    if (threads == 1) {
+      reference = received;
+    } else {
+      EXPECT_EQ(received, reference) << "delivery diverged at " << threads
+                                     << " threads";
+    }
+  }
+}
+
+TEST(ShardedSimulation, EqualTimeMessagesDrainInFromShardOrder) {
+  sim::ShardedSimulation::Options opt;
+  opt.shards = 3;
+  opt.threads = 1;
+  opt.lookahead = 1.0;
+  sim::ShardedSimulation ss(opt);
+
+  // Shards 2 and 1 both post to shard 0 for the same instant; the (time,
+  // from, seq) barrier order must fire shard 1's message first regardless
+  // of posting order.
+  static std::vector<int> order;
+  order.clear();
+  ss.post(2, 0, 5.0, [] { order.push_back(2); });
+  ss.post(1, 0, 5.0, [] { order.push_back(1); });
+  ss.post(1, 0, 5.0, [] { order.push_back(11); });
+  ss.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 11, 2}));
+  EXPECT_DOUBLE_EQ(ss.shard(0).now(), 5.0 + 1.0);  // ran one full window
+}
+
+TEST(ShardedSimulation, PostBelowLookaheadHorizonIsRejected) {
+  sim::ShardedSimulation::Options opt;
+  opt.shards = 2;
+  opt.threads = 1;
+  opt.lookahead = 1.0;
+  sim::ShardedSimulation ss(opt);
+  static bool threw;
+  threw = false;
+  sim::ShardedSimulation* ssp = &ss;
+  ss.shard(0).schedule_at(1.0, [ssp] {
+    // In-window post with t < now + lookahead must fail the safety check.
+    try {
+      ssp->post(0, 1, ssp->shard(0).now() + 0.25, [] {});
+    } catch (const CheckError&) {
+      threw = true;
+    }
+  });
+  ss.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(ShardedSimulation, WindowsAdvanceIdleShardsToGlobalTime) {
+  sim::ShardedSimulation::Options opt;
+  opt.shards = 2;
+  opt.threads = 1;
+  opt.lookahead = 0.1;
+  sim::ShardedSimulation ss(opt);
+  ss.shard(0).schedule_at(3.0, [] {});
+  ss.run_until(7.0);
+  EXPECT_DOUBLE_EQ(ss.shard(0).now(), 7.0);
+  EXPECT_DOUBLE_EQ(ss.shard(1).now(), 7.0);
+  EXPECT_EQ(ss.events_processed(), 1u);
+}
+
+TEST(ReplayEngineValidation, IdenticalAcrossShardCounts) {
+  trace::SyntheticTraceOptions sopt;
+  sopt.num_jobs = 12;
+  sopt.horizon = 4000;
+  sopt.max_stages = 8;
+  sopt.max_stage_time = 120;
+  const auto jobs = trace::synthetic_trace(sopt, /*seed=*/7);
+  trace::ReplayOptions opt;
+  opt.strategy = "DelayStage";
+  opt.threads = 1;
+  opt.engine_validate = true;
+
+  std::vector<trace::ReplayJobResult> reference;
+  for (int shards : {1, 2, 8}) {
+    opt.engine_shards = shards;
+    const auto res = trace::replay(jobs, opt);
+    ASSERT_EQ(res.jobs.size(), jobs.size());
+    for (const auto& j : res.jobs) EXPECT_GT(j.engine_jct, 0.0);
+    if (shards == 1) {
+      reference = res.jobs;
+      continue;
+    }
+    for (std::size_t i = 0; i < res.jobs.size(); ++i) {
+      // Bit-exact across shard counts: same seeds, same per-index worlds.
+      EXPECT_EQ(res.jobs[i].engine_jct, reference[i].engine_jct);
+      EXPECT_EQ(res.jobs[i].jct, reference[i].jct);
+      EXPECT_EQ(res.jobs[i].dedicated_time, reference[i].dedicated_time);
+      EXPECT_EQ(res.jobs[i].planned_delay, reference[i].planned_delay);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ds

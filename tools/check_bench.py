@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
-"""Planner-throughput regression gate.
+"""Throughput regression gate.
 
-Runs bench_planner_throughput (or takes an existing BENCH_planner.json) and
+Runs a benchmark binary that writes a BENCH_*.json (bench_planner_throughput,
+bench_obs_overhead, bench_sim_throughput) — or takes an existing json — and
 compares it against the committed conservative baseline. A throughput metric
 more than --slack (default 20%) below its baseline floor fails the check.
 
@@ -148,8 +149,45 @@ def main():
                 ceiling,
             )
 
+    queue_floors = baseline.get("sim_queue_events_per_sec", {})
+    for entry in results.get("queue", []):
+        scenario = field(entry, "scenario", "queue")
+        floor = queue_floors.get(scenario)
+        if floor is not None:
+            check(
+                f"queue[{scenario}] events/s",
+                field(entry, "events_per_sec", "queue"),
+                floor,
+            )
+
+    engine_floor = baseline.get("engine_events_per_sec")
+    for entry in results.get("engine", []):
+        # Floors are calibrated for the 1-shard path; multi-shard speedup is
+        # informational (CI containers may have a single core).
+        if field(entry, "shards", "engine") == 1 and engine_floor is not None:
+            check(
+                "engine[1 shard] events/s",
+                field(entry, "engine_events_per_sec", "engine"),
+                engine_floor,
+            )
+
+    ereplay_floor = baseline.get("engine_replay_jobs_per_sec")
+    for entry in results.get("engine_replay", []):
+        if field(entry, "shards", "engine_replay") == 1 and ereplay_floor is not None:
+            check(
+                "engine_replay[1 shard] jobs/s",
+                field(entry, "jobs_per_sec", "engine_replay"),
+                ereplay_floor,
+            )
+
     if checked == 0:
-        sys.exit("error: no metrics matched the baseline — wrong input?")
+        known = ("planner", "replay", "obs", "queue", "engine", "engine_replay")
+        present = [k for k in known if results.get(k)]
+        sys.exit(
+            "error: no metrics matched the baseline — results contain "
+            f"section(s) {present or 'none'} but the baseline has no floors "
+            "for them (new benchmark? add floors to tools/bench_baseline.json)"
+        )
     if failures:
         print(f"\n{len(failures)} metric(s) regressed >"
               f"{100 * args.slack:.0f}% below baseline: {', '.join(failures)}")
