@@ -1,0 +1,218 @@
+// Ablation: the drift-closed adaptive loop (DESIGN.md §11) against the
+// static planner on a drift-sensitive workload.
+//
+// Three scenarios, three planning modes each:
+//
+//   perturbed   the planner's believed profile overstates both network
+//               terms 3× (a ≥30% coefficient error); the engine runs the
+//               truth. Recurrent submissions let the calibrator learn the
+//               lie back out.
+//   faults      the profile is accurate but a worker crashes permanently
+//               early in every run; the crash snapshot triggers a
+//               frozen-prefix replan on the shrunk cluster.
+//   accurate    profile matches the cluster, nothing crashes. This row is
+//               the identity contract: first-sight calibration is identity
+//               and an armed replanner never applies, so both adaptive
+//               modes must be bit-identical to static with zero replans.
+//
+//   static             plan once on the believed profile, reuse verbatim
+//   calibrated         AdaptivePlanner plan/observe loop, replanning off
+//   calibrated_replan  same loop with the default ReplanPolicy armed
+//
+// All times are simulated (deterministic), so the JSON gate in
+// tools/check_bench.py compares exact model outcomes, not wall clock.
+// Writes BENCH_adaptive.json (or argv[1]) for that gate.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/adaptive.h"
+#include "core/delay_calculator.h"
+#include "engine/job_run.h"
+#include "sim/cluster.h"
+#include "sim/faults.h"
+#include "util/check.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace ds {
+namespace {
+
+using namespace ds;  // literals
+
+dag::Stage mk(const std::string& name, int tasks, Bytes in, BytesPerSec rate,
+              Bytes out) {
+  dag::Stage s;
+  s.name = name;
+  s.num_tasks = tasks;
+  s.input_bytes = in;
+  s.process_rate = rate;
+  s.output_bytes = out;
+  s.task_skew = 0.2;
+  return s;
+}
+
+// Three parallel branches with sharply mixed resource profiles: the
+// DelayStage stagger between the net-heavy fetch and the cpu-heavy branch
+// is exactly the decision that drifted coefficients and lost workers
+// invalidate, so this shape separates the planning modes.
+dag::JobDag fan() {
+  dag::JobDag j("fan");
+  j.add_stage(mk("src", 6, 600_MB, 60_MBps, 1.2_GB));
+  j.add_stage(mk("net-heavy", 6, 1.2_GB, 60_MBps, 100_MB));
+  j.add_stage(mk("cpu-heavy", 6, 300_MB, 3_MBps, 100_MB));
+  j.add_stage(mk("mid", 6, 600_MB, 12_MBps, 100_MB));
+  j.add_stage(mk("join", 6, 300_MB, 30_MBps, 0));
+  j.add_edge(0, 1);
+  j.add_edge(0, 2);
+  j.add_edge(0, 3);
+  j.add_edge(1, 4);
+  j.add_edge(2, 4);
+  j.add_edge(3, 4);
+  return j;
+}
+
+struct Scenario {
+  std::string name;
+  bool lie;          // planner believes a 3× faster network
+  bool crash;        // one permanent worker crash early in every run
+  int recurrences;   // accurate runs once: it measures the identity contract
+};
+
+struct Row {
+  std::string scenario;
+  std::string mode;
+  int recurrences = 0;
+  double mean_jct = 0;
+  double gain_pct = 0;  // vs the static row of the same scenario
+  int replans = 0;
+};
+
+engine::JobResult run_once(const dag::JobDag& dag, engine::RunOptions opt,
+                           bool crash) {
+  sim::Simulator sim;
+  sim::Cluster cluster(sim, sim::ClusterSpec::three_node(), 7);
+  sim::FaultPlan fp;
+  std::unique_ptr<sim::FaultInjector> inj;
+  if (crash) {
+    fp.crashes.push_back({cluster.worker(1), 5.0, -1});
+    inj = std::make_unique<sim::FaultInjector>(cluster, fp, opt.seed);
+    opt.faults = inj.get();
+    inj->start();
+  }
+  engine::JobRun run(cluster, dag, std::move(opt));
+  run.start();
+  sim.run();
+  const engine::JobResult& r = run.result();
+  DS_CHECK_MSG(r.complete(), "bench job failed: " + r.failure_reason);
+  return r;
+}
+
+Row run_mode(const dag::JobDag& dag, const Scenario& sc,
+             const std::string& mode) {
+  const auto spec = sim::ClusterSpec::three_node();
+  core::JobProfile believed = core::JobProfile::from(dag, spec);
+  if (sc.lie) {
+    believed.cluster.nic_bw *= 3.0;
+    believed.cluster.storage_net_bw *= 3.0;
+  }
+
+  Row row;
+  row.scenario = sc.name;
+  row.mode = mode;
+  row.recurrences = sc.recurrences;
+
+  double sum = 0;
+  if (mode == "static") {
+    const core::DelaySchedule plan = core::DelayCalculator(believed).compute();
+    for (int r = 0; r < sc.recurrences; ++r) {
+      engine::RunOptions opt;
+      opt.seed = 100 + r;
+      opt.plan.delay = plan.delay;
+      sum += run_once(dag, std::move(opt), sc.crash).jct;
+    }
+  } else {
+    core::AdaptiveOptions aopt;
+    aopt.replan.enabled = (mode == "calibrated_replan");  // default policy
+    core::AdaptivePlanner planner(believed, aopt);
+    for (int r = 0; r < sc.recurrences; ++r) {
+      planner.plan();
+      engine::RunOptions opt;
+      opt.seed = 100 + r;
+      planner.arm(opt);
+      const engine::JobResult res = run_once(dag, std::move(opt), sc.crash);
+      sum += res.jct;
+      row.replans += res.replans;
+      planner.observe(res);
+    }
+  }
+  row.mean_jct = sum / sc.recurrences;
+  return row;
+}
+
+}  // namespace
+}  // namespace ds
+
+int main(int argc, char** argv) {
+  using namespace ds;
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_adaptive.json";
+  const dag::JobDag dag = fan();
+
+  const std::vector<Scenario> scenarios = {
+      {"perturbed", /*lie=*/true, /*crash=*/false, /*recurrences=*/6},
+      {"faults", /*lie=*/false, /*crash=*/true, /*recurrences=*/6},
+      {"accurate", /*lie=*/false, /*crash=*/false, /*recurrences=*/1},
+  };
+  const std::vector<std::string> modes = {"static", "calibrated",
+                                          "calibrated_replan"};
+
+  std::vector<Row> rows;
+  for (const Scenario& sc : scenarios) {
+    double static_jct = 0;
+    for (const std::string& mode : modes) {
+      Row row = run_mode(dag, sc, mode);
+      if (mode == "static") static_jct = row.mean_jct;
+      row.gain_pct = 100.0 * (static_jct - row.mean_jct) / static_jct;
+      rows.push_back(std::move(row));
+    }
+  }
+
+  // The identity contract is part of the bench's own output validity: if
+  // the accurate rows ever diverge from static, the JSON gain/replan gate
+  // downstream would be checking a broken build.
+  for (const Row& r : rows) {
+    if (r.scenario != "accurate") continue;
+    DS_CHECK_MSG(r.gain_pct == 0.0,
+                 "accurate-profile run diverged from the static plan");
+    DS_CHECK_MSG(r.replans == 0, "accurate-profile run applied a replan");
+  }
+
+  std::cout << "=== Adaptive planning ablation (fan workload) ===\n";
+  TablePrinter t({"scenario", "mode", "runs", "mean JCT (s)", "gain vs static %",
+                  "replans"});
+  t.set_precision(2);
+  for (const Row& r : rows)
+    t.add_row({r.scenario, r.mode, static_cast<std::int64_t>(r.recurrences),
+               r.mean_jct, r.gain_pct, static_cast<std::int64_t>(r.replans)});
+  t.print(std::cout);
+
+  std::ofstream json(out_path);
+  json.precision(10);
+  json << "{\n  \"adaptive\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    json << "    {\"scenario\": \"" << r.scenario << "\", \"mode\": \""
+         << r.mode << "\", \"recurrences\": " << r.recurrences
+         << ", \"mean_jct\": " << r.mean_jct
+         << ", \"gain_pct\": " << r.gain_pct
+         << ", \"replans\": " << r.replans << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "\nwrote " << out_path << "\n";
+  return 0;
+}

@@ -2,16 +2,25 @@
 //
 //   ./delaystage_cli plan <job.spec> [--cluster prototype|three_node]
 //                                    [--threads N]   # 0 = hardware concurrency
-//                                    [--seed N]
+//                                    [--seed N] [--quantile Q]
 //   ./delaystage_cli run  <job.spec> [--strategy Spark|AggShuffle|DelayStage|
 //                                      CriticalPathFirst] [--seed N]
+//                                    [--quantile Q] [--replan]
 //                                    [--fail-rate P] [--max-attempts N]
 //                                    [--crash NODE@T | --crash NODE@T@DOWN]
 //                                    [--crash-rate R --horizon S]
 //                                    [--mean-downtime S]
 //   ./delaystage_cli report <job.spec> [--cluster ...] [--seed N]
+//                                      [--quantile Q]
 //                                      [--report-out FILE] [--strict]
 //   ./delaystage_cli demo                 # print a sample spec
+//
+// Adaptive planning: --quantile Q (0 < Q < 1) makes the planner target the
+// Q-th quantile of each stage's straggler distribution instead of the
+// legacy mean-ish estimate (0 = off, the bit-exact legacy model). --replan
+// (run, DelayStage strategies only) arms mid-job replanning: on model drift
+// or a node crash the remaining stages' delays are recomputed against the
+// live cluster (see engine/replan.h for the policy bounds).
 //
 // Observability (all commands): --trace-out FILE writes a Chrome
 // trace_event JSON (open in chrome://tracing or https://ui.perfetto.dev);
@@ -38,10 +47,12 @@
 //   edge,<parent_index>,<child_index>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cli_flags.h"
+#include "core/adaptive.h"
 #include "core/delay_calculator.h"
 #include "core/evaluator.h"
 #include "core/profile.h"
@@ -118,12 +129,16 @@ void trace_predicted_timeline(ds::obs::Tracer* tr,
 }
 
 int cmd_plan(const ds::dag::JobDag& job, const ds::sim::ClusterSpec& spec,
-             const ds::cli::CommonFlags& cf, ds::cli::ObsSink& sink) {
+             const ds::cli::CommonFlags& cf, double quantile,
+             ds::cli::ObsSink& sink) {
   using namespace ds;
   const core::JobProfile profile = core::JobProfile::from(job, spec);
   core::CalculatorOptions copt;
   cf.apply(copt);
   copt.obs = sink.get();
+  copt.model.quantile = quantile;
+  if (const Status st = core::validate(copt); !st.is_ok())
+    throw std::runtime_error(st.message());
   const core::DelaySchedule schedule =
       core::DelayCalculator(profile, copt).compute();
   trace_predicted_timeline(obs::tracer(sink.get()), job, schedule);
@@ -198,17 +213,43 @@ void print_interleaving(const ds::obs::analytics::InterleavingReport& rep) {
 
 int cmd_run(const ds::dag::JobDag& job, const ds::sim::ClusterSpec& spec,
             const std::string& strategy_name, std::uint64_t seed,
-            const ds::engine::RunOptions& base_opt,
-            const ds::sim::FaultPlan& faults, const std::string& report_out,
-            ds::cli::ObsSink& sink) {
+            const ds::engine::RunOptions& base_opt, double quantile,
+            bool replan, const ds::sim::FaultPlan& faults,
+            const std::string& report_out, ds::cli::ObsSink& sink) {
   using namespace ds;
+  const bool delaystage =
+      strategy_name.find("DelayStage") != std::string::npos;
+  if ((replan || quantile > 0) && !delaystage)
+    throw std::runtime_error(
+        "--replan/--quantile tune the DelayStage planner; strategy '" +
+        strategy_name + "' does not plan delays (pick a DelayStage variant)");
   sim::Simulator sim(sink.get());
   sim::Cluster cluster(sim, spec, seed, sink.get());
-  auto strategy = sched::make_strategy(strategy_name);
   engine::RunOptions opt = base_opt;
-  opt.plan = strategy->plan(job, cluster);
   opt.seed = seed;
   opt.obs = sink.get();
+  std::unique_ptr<core::AdaptivePlanner> adaptive;
+  core::JobProfile measured;
+  if (replan || quantile > 0) {
+    // Plan through the adaptive stack: quantile-aware model (co-optimized
+    // with the run's speculation policy) and, with --replan, a live
+    // replanner bound to this run.
+    measured = core::JobProfile::from_measured(job, cluster);
+    core::AdaptiveOptions aopt;
+    aopt.calculator.seed = seed;
+    aopt.calculator.obs = sink.get();
+    aopt.calculator.model.quantile = quantile;
+    aopt.calculator = sched::co_optimized(aopt.calculator, opt);
+    aopt.replan.enabled = replan;
+    if (const Status st = core::validate(aopt.calculator); !st.is_ok())
+      throw std::runtime_error(st.message());
+    adaptive = std::make_unique<core::AdaptivePlanner>(measured, aopt);
+    adaptive->plan();
+    adaptive->arm(opt);
+  } else {
+    auto strategy = sched::make_strategy(strategy_name);
+    opt.plan = strategy->plan(job, cluster);
+  }
   sim::FaultInjector injector(cluster, faults, seed);
   if (!faults.empty()) opt.faults = &injector;
   engine::JobRun run(cluster, job, opt);
@@ -266,6 +307,8 @@ int cmd_run(const ds::dag::JobDag& job, const ds::sim::ClusterSpec& spec,
     return 1;
   }
   std::cout << strategy_name << " JCT: " << fmt(r.jct, 1) << " s\n";
+  if (opt.replan.enabled)
+    std::cout << "replans applied: " << r.replans << '\n';
   if (any_faults) {
     std::cout << "faults: " << r.node_crashes << " node crash(es), "
               << r.fetch_failures << " fetch failure(s), " << r.resubmissions()
@@ -298,13 +341,17 @@ int cmd_run(const ds::dag::JobDag& job, const ds::sim::ClusterSpec& spec,
 // and report model drift plus interleaving efficiency — the paper's model
 // validation (Figs. 9-11) and overlap studies (Figs. 5/12) for one job.
 int cmd_report(const ds::dag::JobDag& job, const ds::sim::ClusterSpec& spec,
-               const ds::cli::CommonFlags& cf, const std::string& report_out,
-               bool strict, ds::cli::ObsSink& sink) {
+               const ds::cli::CommonFlags& cf, double quantile,
+               const std::string& report_out, bool strict,
+               ds::cli::ObsSink& sink) {
   using namespace ds;
   const core::JobProfile profile = core::JobProfile::from(job, spec);
   core::CalculatorOptions copt;
   cf.apply(copt);
   copt.obs = sink.get();
+  copt.model.quantile = quantile;
+  if (const Status st = core::validate(copt); !st.is_ok())
+    throw std::runtime_error(st.message());
   const core::DelaySchedule schedule =
       core::DelayCalculator(profile, copt).compute();
   trace_predicted_timeline(obs::tracer(sink.get()), job, schedule);
@@ -372,11 +419,12 @@ int main(int argc, char** argv) {
     const bool force_trace =
         cmd == "report" || (cmd == "run" && !cf.report_out.empty());
     cli::ObsSink sink(cf, force_trace);
+    const double quantile = cli::num_flag(argc, argv, "--quantile", 0);
     int rc = 2;
     if (cmd == "plan") {
-      rc = cmd_plan(job, spec, cf, sink);
+      rc = cmd_plan(job, spec, cf, quantile, sink);
     } else if (cmd == "report") {
-      rc = cmd_report(job, spec, cf, cf.report_out,
+      rc = cmd_report(job, spec, cf, quantile, cf.report_out,
                       cli::has_flag(argc, argv, "--strict"), sink);
     } else if (cmd == "run") {
       const std::string strategy =
@@ -391,8 +439,9 @@ int main(int argc, char** argv) {
       faults.crash_rate = cli::num_flag(argc, argv, "--crash-rate", 0);
       faults.crash_horizon = cli::num_flag(argc, argv, "--horizon", 0);
       faults.mean_downtime = cli::num_flag(argc, argv, "--mean-downtime", -1);
-      rc = cmd_run(job, spec, strategy, cf.seed, opt, faults, cf.report_out,
-                   sink);
+      rc = cmd_run(job, spec, strategy, cf.seed, opt, quantile,
+                   cli::has_flag(argc, argv, "--replan"), faults,
+                   cf.report_out, sink);
     } else {
       std::cerr << "unknown command '" << cmd << "'\n";
       return 2;

@@ -4,6 +4,8 @@
 //
 //   ./trace_analysis [batch_task.csv] [--threads N]   # 0 = hw concurrency
 //                    [--seed N]                       # replay seed
+//                    [--adaptive]                     # calibrating replay
+//                    [--perturb-network F] [--perturb-compute F]
 //                    [--trace-out FILE] [--metrics-out FILE]
 //                    [--report-out FILE]              # fleet analytics
 //
@@ -13,6 +15,13 @@
 // cluster/job utilization, idle fractions, per-job percentiles, planned
 // delay budget) plus per-job rows — CSV when the file ends in .csv, JSON
 // otherwise.
+//
+// --adaptive switches the replay to the closed-loop mode: jobs are planned
+// on per-workload calibrated profiles, executed through the discrete-event
+// engine, and each run's measured phase spans recalibrate the next
+// recurrence. --perturb-network/--perturb-compute (planner believes F × the
+// truth; 1.0 = accurate) inject model error to watch the calibration
+// converge — the drift ablation of EXPERIMENTS.md.
 #include <cstring>
 #include <iostream>
 
@@ -30,10 +39,16 @@ int main(int argc, char** argv) {
   try {
     const cli::CommonFlags cf = cli::parse_common_flags(argc, argv, 7);
     cli::ObsSink sink(cf);
+    const bool adaptive = cli::has_flag(argc, argv, "--adaptive");
+    const double perturb_network =
+        cli::num_flag(argc, argv, "--perturb-network", 1.0);
+    const double perturb_compute =
+        cli::num_flag(argc, argv, "--perturb-compute", 1.0);
     const char* trace_file = nullptr;
     for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--adaptive") == 0) continue;  // valueless
       if (argv[i][0] == '-') {
-        ++i;  // all our flags take a value
+        ++i;  // every other flag takes a value
         continue;
       }
       trace_file = argv[i];
@@ -78,7 +93,10 @@ int main(int argc, char** argv) {
         jobs.begin(), jobs.begin() + std::min<std::size_t>(jobs.size(), 300));
     obs::analytics::FleetReport fleet;
     fleet.trace = trace_file != nullptr ? trace_file : "synthetic";
-    TablePrinter t({"strategy", "mean JCT (s)", "CPU util %", "net util %"});
+    std::vector<std::string> cols = {"strategy", "mean JCT (s)", "CPU util %",
+                                     "net util %"};
+    if (adaptive) cols.push_back("mean engine JCT (s)");
+    TablePrinter t(cols);
     t.set_precision(1);
     for (const char* strategy : {"Fuxi", "DelayStage"}) {
       trace::ReplayOptions opt;
@@ -86,9 +104,21 @@ int main(int argc, char** argv) {
       opt.cluster.num_workers = 400;
       cf.apply(opt);
       opt.obs = sink.get();
+      opt.adaptive = adaptive;
+      opt.perturb_network = perturb_network;
+      opt.perturb_compute = perturb_compute;
+      if (const Status st = trace::validate(opt); !st.is_ok())
+        throw std::runtime_error(st.message());
       const trace::ReplayResult r = trace::replay(sample, opt);
-      t.add_row({std::string(strategy), r.mean_jct(), r.mean_cpu_util(),
-                 r.mean_net_util()});
+      std::vector<TablePrinter::Cell> row = {std::string(strategy),
+                                             r.mean_jct(), r.mean_cpu_util(),
+                                             r.mean_net_util()};
+      if (adaptive) {
+        double engine_sum = 0;
+        for (const auto& j : r.jobs) engine_sum += j.engine_jct;
+        row.push_back(engine_sum / static_cast<double>(r.jobs.size()));
+      }
+      t.add_row(std::move(row));
       fleet.strategies.push_back(obs::analytics::fleet_strategy_report(
           strategy, r, /*keep_jobs=*/!cf.report_out.empty()));
     }

@@ -1,0 +1,142 @@
+#include "core/calibration.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace ds::core {
+
+namespace {
+
+inline void hash_mix(std::uint64_t& h, std::uint64_t v) {
+  // FNV-1a step (same constants as ScoreMemo's vector hash).
+  h ^= v;
+  h *= 1099511628211ull;
+}
+
+inline std::uint64_t bits_of(double d) {
+  std::uint64_t b;
+  static_assert(sizeof(b) == sizeof(d));
+  std::memcpy(&b, &d, sizeof(b));
+  return b;
+}
+
+}  // namespace
+
+std::uint64_t workload_signature(const dag::JobDag& dag) {
+  std::uint64_t h = 1469598103934665603ull;
+  hash_mix(h, static_cast<std::uint64_t>(dag.num_stages()));
+  for (dag::StageId s = 0; s < dag.num_stages(); ++s) {
+    const dag::Stage& spec = dag.stage(s);
+    hash_mix(h, static_cast<std::uint64_t>(spec.num_tasks));
+    hash_mix(h, bits_of(spec.input_bytes));
+    hash_mix(h, bits_of(spec.output_bytes));
+    hash_mix(h, bits_of(spec.process_rate));
+    hash_mix(h, bits_of(spec.task_skew));
+    for (dag::StageId p : dag.parents(s))
+      hash_mix(h, static_cast<std::uint64_t>(p));
+    hash_mix(h, 0x5eedull);  // stage separator
+  }
+  return h;
+}
+
+PhaseObservation observe_run(const DelaySchedule& plan,
+                             const engine::JobResult& result) {
+  return observe_timelines(plan.predicted_stages, result);
+}
+
+PhaseObservation observe_timelines(const std::vector<StageTimeline>& predicted,
+                                   const engine::JobResult& result) {
+  PhaseObservation obs;
+  const std::size_t n = std::min(predicted.size(), result.stages.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const StageTimeline& p = predicted[i];
+    const engine::StageRecord& a = result.stages[i];
+    // Skip stages the prediction or the run never completed, and stages the
+    // fault machinery reopened (recovery time is not model error).
+    if (p.finish < 0 || a.finish < 0) continue;
+    if (a.resubmissions > 0 || a.tasks_rerun > 0) continue;
+    if (p.submitted < 0 || a.submitted < 0) continue;
+    const Seconds p_net = std::max(0.0, p.read_done - p.submitted);
+    const Seconds p_cpu = std::max(0.0, p.compute_done - p.read_done);
+    const Seconds p_wr = std::max(0.0, p.finish - p.compute_done);
+    // A stage may finish without distinct phase marks (zero-volume phases);
+    // fall back to collapsing the span into the phases that do exist.
+    const Seconds a_read =
+        a.last_read_done >= 0 ? a.last_read_done : a.submitted;
+    const Seconds a_comp =
+        a.last_compute_done >= 0 ? a.last_compute_done : a_read;
+    const Seconds a_net = std::max(0.0, a_read - a.submitted);
+    const Seconds a_cpu = std::max(0.0, a_comp - a_read);
+    const Seconds a_wr = std::max(0.0, a.finish - a_comp);
+    obs.predicted_network += p_net;
+    obs.predicted_compute += p_cpu;
+    obs.predicted_write += p_wr;
+    obs.actual_network += a_net;
+    obs.actual_compute += a_cpu;
+    obs.actual_write += a_wr;
+  }
+  return obs;
+}
+
+ModelCalibrator::ModelCalibrator(CalibrationOptions options) : opt_(options) {
+  DS_CHECK_MSG(opt_.ewma_alpha > 0 && opt_.ewma_alpha <= 1.0,
+               "calibration ewma_alpha must be in (0, 1]");
+  DS_CHECK_MSG(opt_.min_factor > 0 && opt_.min_factor <= 1.0,
+               "calibration min_factor must be in (0, 1]");
+  DS_CHECK_MSG(opt_.max_factor >= 1.0, "calibration max_factor must be >= 1");
+}
+
+void ModelCalibrator::observe(std::uint64_t signature,
+                              const PhaseObservation& obs) {
+  if (!obs.usable()) return;
+  auto ratio = [&](Seconds actual, Seconds predicted, double current) {
+    // No predicted span for this term (e.g. a job with zero shuffle write):
+    // there is no evidence either way, keep the current factor.
+    if (predicted <= 0) return current;
+    return std::clamp(actual / predicted, opt_.min_factor, opt_.max_factor);
+  };
+  std::lock_guard<std::mutex> lock(mu_);
+  CalibrationFactors& f = factors_[signature];
+  const double a = opt_.ewma_alpha;
+  f.network = (1.0 - a) * f.network +
+              a * ratio(obs.actual_network, obs.predicted_network, f.network);
+  f.compute = (1.0 - a) * f.compute +
+              a * ratio(obs.actual_compute, obs.predicted_compute, f.compute);
+  f.write = (1.0 - a) * f.write +
+            a * ratio(obs.actual_write, obs.predicted_write, f.write);
+  f.network = std::clamp(f.network, opt_.min_factor, opt_.max_factor);
+  f.compute = std::clamp(f.compute, opt_.min_factor, opt_.max_factor);
+  f.write = std::clamp(f.write, opt_.min_factor, opt_.max_factor);
+  ++f.observations;
+}
+
+CalibrationFactors ModelCalibrator::factors(std::uint64_t signature) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = factors_.find(signature);
+  return it != factors_.end() ? it->second : CalibrationFactors{};
+}
+
+std::size_t ModelCalibrator::workloads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return factors_.size();
+}
+
+JobProfile calibrated_profile(const JobProfile& base,
+                              const CalibrationFactors& f) {
+  DS_CHECK_MSG(f.network > 0 && f.compute > 0 && f.write > 0,
+               "calibration factors must be positive");
+  JobProfile p = base;
+  // Observed fetches ran f.network × the prediction ⇒ the usable bandwidth
+  // is the profiled figure divided by f.network (both the worker NICs and
+  // the storage tier scale — the slowdown is in the fabric, not one side).
+  p.cluster.nic_bw = base.cluster.nic_bw / f.network;
+  if (base.cluster.storage_net_bw > 0)
+    p.cluster.storage_net_bw = base.cluster.storage_net_bw / f.network;
+  p.compute_time_scale = base.compute_time_scale * f.compute;
+  p.cluster.disk_bw = base.cluster.disk_bw / f.write;
+  return p;
+}
+
+}  // namespace ds::core

@@ -20,17 +20,40 @@ const char* to_string(PathOrder order) {
   return "?";
 }
 
+Status validate(const CalculatorOptions& options) {
+  if (!(options.step > 0))
+    return Status::error("CalculatorOptions: step (candidate grid width) "
+                         "must be positive");
+  if (!(options.slot > 0))
+    return Status::error("CalculatorOptions: slot (evaluator slot width) "
+                         "must be positive");
+  if (options.coarse_candidates < 2)
+    return Status::error("CalculatorOptions: coarse_candidates must be >= 2 "
+                         "(need at least the grid ends)");
+  if (options.sweeps < 1)
+    return Status::error("CalculatorOptions: sweeps must be >= 1");
+  if (options.max_paths < 1)
+    return Status::error("CalculatorOptions: max_paths must be >= 1");
+  if (options.model.quantile < 0 || options.model.quantile >= 1.0)
+    return Status::error("CalculatorOptions: model.quantile must be in "
+                         "[0, 1) — 0 plans against the mean, 0.9 against p90");
+  if (!(options.model.speculation_threshold > 1.0))
+    return Status::error("CalculatorOptions: model.speculation_threshold "
+                         "must exceed 1 (a copy only helps if the primary is "
+                         "genuinely late)");
+  return Status::ok();
+}
+
 DelayCalculator::DelayCalculator(const JobProfile& profile,
                                  CalculatorOptions options)
     : profile_(profile), opt_(options) {
-  DS_CHECK(opt_.step > 0);
-  DS_CHECK(opt_.slot > 0);
-  DS_CHECK(opt_.coarse_candidates >= 2);
+  const Status st = validate(opt_);
+  DS_CHECK_MSG(st.is_ok(), st.message());
 }
 
 DelaySchedule DelayCalculator::compute() const {
   const dag::JobDag& dag = *profile_.dag;
-  const ScheduleEvaluator eval(profile_, opt_.slot);
+  const ScheduleEvaluator eval(profile_, opt_.slot, opt_.model);
   const PerfModel& model = eval.model();
   const auto n = static_cast<std::size_t>(dag.num_stages());
 

@@ -19,6 +19,7 @@
 #include "core/evaluator.h"
 #include "core/options.h"
 #include "dag/paths.h"
+#include "util/status.h"
 
 namespace ds::core {
 
@@ -56,7 +57,16 @@ struct CalculatorOptions : CommonOptions {
   // re-simulating. Scores are pure in the delay vector, so this never
   // changes the result.
   bool memoize = true;
+  // Risk posture of the evaluator's perf model (quantile target, speculation
+  // truncation). Defaults reproduce the legacy mean estimates bit-exactly.
+  ModelOptions model;
 };
+
+// Validates field combinations (positive grid widths, a sane candidate
+// budget, a model quantile in range, …). The DelayCalculator constructor
+// enforces this (throwing CheckError with the same message); CLIs call it
+// up front to print a friendly `error: …` instead.
+Status validate(const CalculatorOptions& options);
 
 struct DelaySchedule {
   // x_k per stage (0 for sequential stages and undelayed parallel stages).

@@ -126,8 +126,9 @@ std::size_t ScoreMemo::size() const {
   return map_.size();
 }
 
-ScheduleEvaluator::ScheduleEvaluator(const JobProfile& profile, Seconds slot)
-    : profile_(profile), model_(profile), slot_(slot) {
+ScheduleEvaluator::ScheduleEvaluator(const JobProfile& profile, Seconds slot,
+                                     ModelOptions model)
+    : profile_(profile), model_(profile, model), slot_(slot) {
   DS_CHECK_MSG(slot > 0, "slot width must be positive");
   const dag::JobDag& dag = *profile_.dag;
   const auto n = static_cast<std::size_t>(dag.num_stages());

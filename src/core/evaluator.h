@@ -113,7 +113,11 @@ class ScoreMemo {
 
 class ScheduleEvaluator {
  public:
-  explicit ScheduleEvaluator(const JobProfile& profile, Seconds slot = 1.0);
+  // `model` selects the risk posture of the underlying PerfModel (mean vs
+  // quantile target, speculation truncation); the default reproduces the
+  // legacy mean-of-max estimates bit-exactly.
+  explicit ScheduleEvaluator(const JobProfile& profile, Seconds slot = 1.0,
+                             ModelOptions model = {});
 
   // `delay[k]` = x_k relative to stage readiness; missing entries are 0.
   // Sequential stages may carry delays too (Alg. 1 never assigns them any).

@@ -23,6 +23,28 @@ struct Shares {
   double disk = 1;
 };
 
+// How the model turns per-task dispersion (Stage::task_skew) into a stage
+// completion estimate. The defaults reproduce the paper's point estimate
+// bit-exactly; quantile/speculation are the distribution-aware extensions
+// ("Towards Stochastically Optimizing Data Computing Flows", PAPERS.md).
+struct ModelOptions {
+  // 0 (default): legacy expected-maximum straggler estimate, numerically
+  // identical to the pre-quantile model. (0, 1): plan against this quantile
+  // of the stage completion distribution — the straggler inflation becomes
+  // exp(σ·Φ⁻¹(q^{1/T})) for the q-quantile of the max of T lognormal(0, σ)
+  // task multipliers, so p90/p95 plans budget for tail tasks the mean never
+  // sees. Must be < 1.
+  double quantile = 0.0;
+  // Co-optimization with the engine's speculation policy: a speculative copy
+  // relaunches any task running past `speculation_threshold` × the median,
+  // which truncates the straggler distribution — the modeled inflation is
+  // capped at threshold + 1 (original wait plus a median-speed copy).
+  bool speculation = false;
+  double speculation_threshold = 1.5;
+
+  bool is_identity() const { return quantile == 0.0 && !speculation; }
+};
+
 struct PhaseTimes {
   Seconds read = 0;
   Seconds compute = 0;
@@ -32,7 +54,7 @@ struct PhaseTimes {
 
 class PerfModel {
  public:
-  explicit PerfModel(const JobProfile& profile);
+  explicit PerfModel(const JobProfile& profile, ModelOptions options = {});
 
   // Phase durations of stage k under the given sharing factors (Eq. 1
   // aggregated over the slowest worker, Eq. 2).
@@ -65,8 +87,15 @@ class PerfModel {
   double usable_executors(dag::StageId k) const;
   BytesPerSec write_rate_alone() const;
 
+  const ModelOptions& options() const { return options_; }
+
  private:
   const JobProfile& profile_;
+  ModelOptions options_;
 };
+
+// Φ⁻¹: inverse of the standard normal CDF (Acklam's rational approximation,
+// |relative error| < 1.15e-9 over (0, 1)). Exposed for tests.
+double inverse_normal_cdf(double p);
 
 }  // namespace ds::core

@@ -34,6 +34,13 @@ struct ClusterProfile {
 struct JobProfile {
   const dag::JobDag* dag = nullptr;  // not owned; must outlive the profile
   ClusterProfile cluster;
+  // Multiplicative correction on every stage's compute time (Eq. 1's
+  // processing term). 1.0 = the profiled process rates are trusted as-is;
+  // online calibration (core/calibration.h) raises it when observed compute
+  // phases run consistently longer than predicted. Multiplying by exactly
+  // 1.0 is a bit-exact identity, so an uncalibrated profile plans exactly
+  // as before.
+  double compute_time_scale = 1.0;
 
   // "Profile" a job against a cluster spec: the NIC figure is the mean of
   // the provisioned range (what repeated netperf probes would average to).

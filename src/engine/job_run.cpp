@@ -29,6 +29,7 @@ JobRun::JobRun(sim::Cluster& cluster, const dag::JobDag& dag, RunOptions opt)
       m_resubmissions_(obs::counter(opt_.obs, "engine.stage_resubmissions")),
       m_speculative_(obs::counter(opt_.obs, "engine.speculative_copies")),
       m_stages_finished_(obs::counter(opt_.obs, "engine.stages_finished")),
+      m_replans_(obs::counter(opt_.obs, "engine.replans")),
       m_task_seconds_(obs::histogram(opt_.obs, "engine.task_seconds",
                                      obs::exponential_buckets(1.0, 1.6, 24))) {
   DS_CHECK_MSG(static_cast<std::uint64_t>(cluster.total_nodes()) < kMaxNodes,
@@ -46,6 +47,10 @@ JobRun::JobRun(sim::Cluster& cluster, const dag::JobDag& dag, RunOptions opt)
                "speculation is incompatible with pipelined shuffle");
   DS_CHECK_MSG(opt_.speculation_threshold > 1.0,
                "speculation threshold must exceed 1");
+  DS_CHECK_MSG(!opt_.replan.enabled || opt_.replanner,
+               "replanning enabled but no replanner installed");
+  DS_CHECK_MSG(opt_.replan.max_replans >= 0, "max_replans must be >= 0");
+  DS_CHECK_MSG(opt_.replan.cooldown >= 0, "replan cooldown must be >= 0");
   if (opt_.faults != nullptr) {
     DS_CHECK_MSG(&opt_.faults->cluster() == &cluster_,
                  "fault injector drives a different cluster");
@@ -198,7 +203,10 @@ void JobRun::on_ready(dag::StageId s) {
   DS_CHECK_MSG(delay >= 0, "negative delay for stage " << s);
   if (trace_ != nullptr)
     trace_->instant("stage", "ready", rec(s).ready, obs::kJobPid, s);
-  cluster_.sim().schedule_after(delay, [this, s] { submit_stage(s); });
+  // The event id is kept so a mid-job replan can cancel the pending
+  // submission and reschedule it under the new delay.
+  st(s).submit_event =
+      cluster_.sim().schedule_after(delay, [this, s] { submit_stage(s); });
 }
 
 void JobRun::submit_stage(dag::StageId s) {
@@ -206,6 +214,7 @@ void JobRun::submit_stage(dag::StageId s) {
   auto& state = st(s);
   DS_CHECK(!state.submitted);
   state.submitted = true;
+  state.submit_event = sim::kInvalidEvent;
   rec(s).submitted = cluster_.sim().now();
   if (trace_ != nullptr) {
     const Seconds delay = rec(s).submitted - rec(s).ready;
@@ -781,6 +790,71 @@ void JobRun::on_node_crashed(sim::NodeId w) {
     if (failed_) return;
     pump_requeues(s);
   }
+
+  // Crash trigger: the cluster the plan was computed for no longer exists
+  // (a worker and its shuffle output are gone, stages may be resubmitting).
+  // Let the replanner re-stagger what has not been submitted yet.
+  consider_replan(dag::kNoStage, "crash");
+}
+
+void JobRun::consider_replan(dag::StageId trigger, const char* reason) {
+  const ReplanPolicy& pol = opt_.replan;
+  if (!pol.enabled || !opt_.replanner || failed_ || result_.finished()) return;
+  if (result_.replans >= pol.max_replans) return;
+  const Seconds now = cluster_.sim().now();
+  // Cooldown anchors on *attempts*, not applications: a burst of drifting
+  // finishes costs at most one planner invocation per window (the thrash
+  // guard faults_test pins down).
+  if (last_replan_attempt_ >= 0 && now - last_replan_attempt_ < pol.cooldown)
+    return;
+
+  const auto n = static_cast<std::size_t>(dag_.num_stages());
+  ReplanRequest req;
+  req.now = now;
+  req.trigger_stage = trigger;
+  req.reason = reason;
+  req.submitted.resize(n);
+  bool any_pending = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    req.submitted[i] = st_[i].submitted;
+    if (!st_[i].submitted) any_pending = true;
+  }
+  if (!any_pending) return;  // nothing left to reschedule
+  req.live_workers = 0;
+  for (int w = 0; w < cluster_.num_workers(); ++w) {
+    const sim::NodeId node = cluster_.worker(w);
+    if (opt_.faults == nullptr || opt_.faults->alive(node)) ++req.live_workers;
+  }
+  req.progress = &result_;
+  req.plan = &opt_.plan;
+
+  last_replan_attempt_ = now;
+  ReplanDecision d = opt_.replanner(req);
+  if (!d.apply || d.expected_gain < pol.min_expected_gain) return;
+
+  ++result_.replans;
+  m_replans_.inc();
+  if (trace_ != nullptr)
+    trace_->instant("replan", reason, now, obs::kJobPid,
+                    trigger == dag::kNoStage ? 0 : trigger);
+
+  // Install the new delays for every pending stage. A stage already sitting
+  // in its delay window has its submission event rescheduled to
+  // ready + new_delay (never before now — elapsed waiting is sunk).
+  if (opt_.plan.delay.size() < n) opt_.plan.delay.resize(n, 0.0);
+  for (dag::StageId s = 0; s < dag_.num_stages(); ++s) {
+    const auto i = static_cast<std::size_t>(s);
+    if (req.submitted[i]) continue;
+    const Seconds nd = i < d.delay.size() ? std::max(0.0, d.delay[i]) : 0.0;
+    opt_.plan.delay[i] = nd;
+    auto& state = st(s);
+    if (state.submit_event != sim::kInvalidEvent) {
+      cluster_.sim().cancel(state.submit_event);
+      const Seconds target = std::max(now, rec(s).ready + nd);
+      state.submit_event = cluster_.sim().schedule_after(
+          target - now, [this, s] { submit_stage(s); });
+    }
+  }
 }
 
 void JobRun::fail_job(const std::string& reason) {
@@ -815,6 +889,20 @@ void JobRun::finish_stage(dag::StageId s) {
   if (state.reopened_at >= 0) {
     r.recovery_seconds += r.finish - state.reopened_at;
     state.reopened_at = -1;
+  }
+  // Drift trigger: a first finish whose measured duration misses the plan's
+  // prediction beyond the warning threshold requests a replan *before*
+  // children readiness propagates, so stages becoming ready right now
+  // already pick up the corrected delays.
+  if (!state.finished_once && opt_.replan.enabled) {
+    const auto i = static_cast<std::size_t>(s);
+    const Seconds predicted = i < opt_.predicted_durations.size()
+                                  ? opt_.predicted_durations[i]
+                                  : 0.0;
+    if (predicted > 0) {
+      const double rel = std::abs(r.duration() - predicted) / predicted;
+      if (rel > opt_.replan.trigger_rel_error) consider_replan(s, "drift");
+    }
   }
   if (!state.finished_once) {
     state.finished_once = true;

@@ -57,6 +57,7 @@
 #include "dag/job.h"
 #include "engine/plan.h"
 #include "engine/records.h"
+#include "engine/replan.h"
 #include "metrics/timeseries.h"
 #include "obs/obs.h"
 #include "sim/cluster.h"
@@ -104,6 +105,17 @@ struct RunOptions : CommonOptions {
   // ClusterSpec::node_speed_*). Incompatible with pipelined_shuffle.
   bool speculation = false;
   double speculation_threshold = 1.5;
+  // Mid-job replanning (see engine/replan.h). Both pieces must be set for
+  // the engine to ever replan: `replan.enabled` arms the triggers, and
+  // `replanner` is invoked with a live-state snapshot when one fires. The
+  // default (disabled policy, empty replanner) is a guaranteed no-op.
+  ReplanPolicy replan;
+  Replanner replanner;
+  // Planner-predicted stage durations (submitted → finish), indexed by
+  // StageId: the drift trigger compares each finished stage against its
+  // entry. Empty (or a missing/non-positive entry) disables the drift
+  // trigger for that stage; crash triggers work regardless.
+  std::vector<Seconds> predicted_durations;
 };
 
 class JobRun {
@@ -157,6 +169,9 @@ class JobRun {
     int remaining_parents = 0;
     int remaining_tasks = 0;
     bool submitted = false;
+    // Pending submission event while the stage sits in its delay window
+    // (ready, not yet submitted). A replan cancels and reschedules it.
+    sim::EventId submit_event = sim::kInvalidEvent;
     bool finished_once = false;  // children's remaining_parents consumed
     Seconds reopened_at = -1;                // for recovery_seconds
     std::vector<double> mult;                // per-task skew, mean 1
@@ -229,6 +244,13 @@ class JobRun {
   void on_node_crashed(sim::NodeId w);
   void fail_job(const std::string& reason);
 
+  // --- mid-job replanning (no-op unless opt_.replan.enabled) ---
+  // Evaluate the ReplanPolicy guards, snapshot live state, invoke the
+  // replanner, and — if the decision clears min_expected_gain — install the
+  // new delays for every not-yet-submitted stage (rescheduling pending
+  // submission events in place).
+  void consider_replan(dag::StageId trigger, const char* reason);
+
   // --- observability (passive; no-ops when opt_.obs is null) ---
   // Chrome-trace pid of worker w's slot track.
   static std::int32_t node_pid(sim::NodeId w) {
@@ -264,6 +286,7 @@ class JobRun {
   bool started_ = false;
   bool failed_ = false;
   int speculative_attempts_ = 0;
+  Seconds last_replan_attempt_ = -1;  // cooldown anchor (sim time)
   std::vector<metrics::TimeSeries> occupancy_;
   sim::EventId occupancy_event_ = sim::kInvalidEvent;
   sim::FaultInjector::SubscriptionId fault_sub_ = 0;
@@ -280,6 +303,7 @@ class JobRun {
   obs::Counter m_resubmissions_;
   obs::Counter m_speculative_;
   obs::Counter m_stages_finished_;
+  obs::Counter m_replans_;
   obs::Histogram m_task_seconds_;
 };
 

@@ -69,6 +69,10 @@ struct JobResult {
   // Recovery summary.
   int node_crashes = 0;    // crashes that landed while this job ran
   int fetch_failures = 0;  // attempts killed because a shuffle source died
+  // Mid-job replans actually applied (RunOptions::replan; 0 when disabled —
+  // and with replanning disabled the run is bit-identical to a build
+  // without the feature).
+  int replans = 0;
 
   bool complete() const { return jct >= 0; }
   // The run reached a terminal state — successfully or not.

@@ -58,6 +58,13 @@ engine::SubmissionPlan DelayStageStrategy::plan(const dag::JobDag& dag,
   return core::StageDelayer(last_).plan();
 }
 
+core::CalculatorOptions co_optimized(core::CalculatorOptions options,
+                                     const engine::RunOptions& run) {
+  options.model.speculation = run.speculation;
+  options.model.speculation_threshold = run.speculation_threshold;
+  return options;
+}
+
 std::unique_ptr<Strategy> make_strategy(const std::string& name) {
   if (name == "Spark") return std::make_unique<StockSparkStrategy>();
   if (name == "AggShuffle") return std::make_unique<AggShuffleStrategy>();

@@ -8,6 +8,7 @@
 
 #include "core/delay_calculator.h"
 #include "dag/job.h"
+#include "engine/job_run.h"
 #include "engine/plan.h"
 #include "sim/cluster.h"
 
@@ -106,5 +107,14 @@ class DelayStageStrategy final : public Strategy {
 
 // Factory used by benches/examples to iterate over the paper's line-up.
 std::unique_ptr<Strategy> make_strategy(const std::string& name);
+
+// Co-optimize the planner's straggler model with the engine's speculation
+// policy: when the run will speculate, the planner should predict with the
+// same capped straggler factor the engine will actually realise (and with
+// the matching threshold) rather than the uncapped extreme-value tail.
+// Returns `options` with the model's speculation knobs aligned to `run`'s.
+// Everything else (quantile target included) passes through unchanged.
+core::CalculatorOptions co_optimized(core::CalculatorOptions options,
+                                     const engine::RunOptions& run);
 
 }  // namespace ds::sched

@@ -8,7 +8,7 @@ namespace ds::sim {
 
 FaultInjector::FaultInjector(Cluster& cluster, FaultPlan plan,
                              std::uint64_t seed)
-    : cluster_(cluster), plan_(std::move(plan)), rng_(seed) {
+    : cluster_(cluster), plan_(std::move(plan)), rng_(seed ^ kFaultSeedSalt) {
   alive_.assign(static_cast<std::size_t>(cluster_.total_nodes()), true);
   validate();
 }
@@ -65,6 +65,7 @@ void FaultInjector::start() {
   std::sort(all.begin(), all.end(), [](const NodeCrash& a, const NodeCrash& b) {
     return a.at != b.at ? a.at < b.at : a.node < b.node;
   });
+  expanded_ = all;
 
   for (const auto& c : all) {
     if (c.at < sim.now()) continue;

@@ -19,6 +19,12 @@
 // Everything is expanded deterministically from the plan and the seed at
 // start(): the same (plan, seed) pair yields the same crash times on every
 // run, which keeps whole-job results byte-identical (see faults_test).
+// The injector's RNG stream is derived from the caller's seed XORed with a
+// fixed salt (kFaultSeedSalt), so passing the one CommonOptions::seed to
+// both an engine and its injector yields *decorrelated* streams — the fault
+// schedule is a pure function of (plan, seed) alone, bit-reproducible
+// across runs and shard counts, and never entangled with the engine's
+// per-task skew draws that consume the unsalted seed.
 //
 // Job-level semantics (which attempts die, which parent tasks re-run, when a
 // job gives up) live in engine::JobRun; this module only owns node liveness.
@@ -33,6 +39,10 @@
 #include "util/rng.h"
 
 namespace ds::sim {
+
+// Salt XORed into the FaultInjector's RNG seed. Fixed forever: changing it
+// changes every stochastic fault schedule.
+inline constexpr std::uint64_t kFaultSeedSalt = 0xFA'17'5E'ED'0D'15'EA'5Eull;
 
 // One scheduled whole-node failure. Only worker nodes may crash: storage
 // (HDFS) nodes model a replicated, durable tier.
@@ -77,9 +87,11 @@ class FaultInjector {
   using Handler = std::function<void(NodeId)>;
   using SubscriptionId = std::uint64_t;
 
-  // `seed` fixes the stochastic crash draw; the cluster must outlive the
-  // injector. Validates the plan eagerly (nodes in range, workers only,
-  // well-formed windows).
+  // `seed` fixes the stochastic crash draw (internally salted with
+  // kFaultSeedSalt — callers pass the same CommonOptions::seed they give
+  // the engine and still get an independent stream); the cluster must
+  // outlive the injector. Validates the plan eagerly (nodes in range,
+  // workers only, well-formed windows).
   FaultInjector(Cluster& cluster, FaultPlan plan, std::uint64_t seed);
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
@@ -94,6 +106,13 @@ class FaultInjector {
   bool alive(NodeId n) const { return alive_.at(static_cast<std::size_t>(n)); }
   int crashes_injected() const { return crashes_injected_; }
   int recoveries() const { return recoveries_; }
+
+  // The concrete crash schedule start() expanded from (plan, seed) —
+  // scheduled crashes plus the stochastic draws, sorted by (at, node).
+  // Valid after start(); what faults_test asserts bit-reproducible.
+  const std::vector<NodeCrash>& expanded_crashes() const {
+    return expanded_;
+  }
 
   // Subscribe to crash/recovery notifications. On a crash, handlers run
   // *before* the executor pool forfeits the node's slots, so an engine can
@@ -118,6 +137,7 @@ class FaultInjector {
   FaultPlan plan_;
   Rng rng_;
   bool started_ = false;
+  std::vector<NodeCrash> expanded_;
   std::vector<bool> alive_;
   std::vector<Subscriber> subscribers_;
   SubscriptionId next_sub_ = 1;

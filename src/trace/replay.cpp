@@ -34,6 +34,11 @@ struct JobModel {
   double net_util = 0;
   Seconds planned_delay = 0;  // Σ_k x_k from the planner (0 for stock)
   std::vector<Seconds> delay;  // the planner's X (engine validation reuses it)
+  // The evaluator's predicted per-stage timeline under `delay` — what the
+  // adaptive pass joins against the engine's measurements to calibrate.
+  std::vector<core::StageTimeline> predicted;
+  // Correction factors this job planned with (identity unless adaptive).
+  core::CalibrationFactors factors;
   // Phase texture for the per-machine view (Fig. 4b): fraction of the run
   // spent fetching over the network, and the typical stage cycle length.
   double read_frac = 0.3;
@@ -56,10 +61,21 @@ std::pair<sim::ClusterSpec, ReferenceRates> sub_cluster_for(
 }
 
 JobModel model_job(const TraceJob& tj, const ReplayOptions& opt,
-                   std::uint64_t seed) {
+                   std::uint64_t seed,
+                   const core::CalibrationFactors* factors = nullptr) {
   const auto [cs, ref] = sub_cluster_for(opt);
   const dag::JobDag dag = to_job_dag(tj, ref);
-  const core::JobProfile profile = core::JobProfile::from(dag, cs);
+  core::JobProfile profile = core::JobProfile::from(dag, cs);
+  // Planner-side model-error injection: the planner believes these scaled
+  // figures while the engine executes the unscaled truth. The defaults are
+  // exact multiplicative identities, so an unperturbed replay is
+  // bit-identical to the pre-adaptive code path.
+  profile.cluster.nic_bw *= opt.perturb_network;
+  if (profile.cluster.storage_net_bw > 0)
+    profile.cluster.storage_net_bw *= opt.perturb_network;
+  profile.compute_time_scale /= opt.perturb_compute;
+  if (factors != nullptr)
+    profile = core::calibrated_profile(profile, *factors);
 
   // Adapt the slot width to the job's magnitude so every evaluation costs
   // roughly `evaluator_slots` steps regardless of job size.
@@ -86,11 +102,13 @@ JobModel model_job(const TraceJob& tj, const ReplayOptions& opt,
   }
 
   const core::ScheduleEvaluator eval(profile, slot);
-  const core::Evaluation ev = eval.evaluate(delay);
+  core::Evaluation ev = eval.evaluate(delay);
   JobModel m;
   m.dedicated = std::max(ev.jct, slot);
   for (Seconds x : delay) m.planned_delay += x;
   m.delay = std::move(delay);
+  m.predicted = std::move(ev.stages);
+  if (factors != nullptr) m.factors = *factors;
 
   const core::PerfModel& pm = eval.model();
   double exec_seconds = 0;
@@ -117,6 +135,29 @@ JobModel model_job(const TraceJob& tj, const ReplayOptions& opt,
 }
 
 }  // namespace
+
+Status validate(const ReplayOptions& options) {
+  if (options.machines_per_job < 1)
+    return Status::error("ReplayOptions: machines_per_job must be >= 1 "
+                         "(every job needs at least one machine)");
+  if (options.evaluator_slots < 1)
+    return Status::error("ReplayOptions: evaluator_slots must be >= 1");
+  if (options.coarse_candidates < 2)
+    return Status::error("ReplayOptions: coarse_candidates must be >= 2 "
+                         "(need at least the grid ends)");
+  if (options.sweeps < 1)
+    return Status::error("ReplayOptions: sweeps must be >= 1");
+  if (options.engine_shards != 1 && !options.engine_validate &&
+      !options.adaptive)
+    return Status::error(
+        "ReplayOptions: engine_shards is set but engine_validate is off — "
+        "no engine runs would use the shards (enable engine_validate, or "
+        "leave engine_shards at 1)");
+  if (!(options.perturb_network > 0) || !(options.perturb_compute > 0))
+    return Status::error("ReplayOptions: perturbation scales must be "
+                         "positive (1.0 = accurate profile)");
+  return Status::ok();
+}
 
 double ReplayResult::mean_jct() const {
   DS_CHECK(!jobs.empty());
@@ -156,36 +197,76 @@ double ReplayResult::mean_job_net_util() const {
 ReplayResult replay(const std::vector<TraceJob>& jobs,
                     const ReplayOptions& options) {
   DS_CHECK(!jobs.empty());
+  {
+    const Status st = validate(options);
+    DS_CHECK_MSG(st.is_ok(), st.message());
+  }
 
-  // 1) Dedicated-sub-cluster model per job. Jobs are planned independently
-  //    (seeded by index, written to per-index slots), so the fan-out across
-  //    the pool is bit-identical to the sequential loop for any thread count.
   std::vector<JobModel> models(jobs.size());
-  ThreadPool pool(options.resolved_threads());
-  pool.parallel_for(jobs.size(), [&](std::size_t i) {
-    models[i] = model_job(jobs[i], options, options.seed + i);
-  });
-
-  // 1b) Engine validation: replay each job's planned schedule through the
-  //     real discrete-event engine on its dedicated sub-cluster. Every index
-  //     is a self-contained world (own Simulator, Cluster, JobRun), so the
-  //     ShardedRunner fan-out is bit-identical for any shard count.
   std::vector<Seconds> engine_jcts;
-  if (options.engine_validate) {
-    sim::ShardedRunner runner(options.engine_shards);
-    engine_jcts = runner.run<Seconds>(jobs.size(), [&](std::size_t i) {
-      const auto [cs, ref] = sub_cluster_for(options);
+  if (options.adaptive) {
+    // 1-adaptive) Closed loop, strictly sequential in arrival order: plan on
+    // the workload's calibrated profile, execute through the engine for
+    // ground truth, fold the measured phase spans back into the shared
+    // calibrator. Sequencing (not the thread count) fixes the observation
+    // order, so the result is deterministic for any `threads` setting.
+    std::vector<std::size_t> order(jobs.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (jobs[a].submit_time != jobs[b].submit_time)
+        return jobs[a].submit_time < jobs[b].submit_time;
+      return a < b;
+    });
+    core::ModelCalibrator calibrator;
+    engine_jcts.assign(jobs.size(), 0.0);
+    const auto [cs, ref] = sub_cluster_for(options);
+    for (std::size_t i : order) {
+      const dag::JobDag dag = to_job_dag(jobs[i], ref);
+      const std::uint64_t sig = core::workload_signature(dag);
+      const core::CalibrationFactors f = calibrator.factors(sig);
+      models[i] = model_job(jobs[i], options, options.seed + i, &f);
       sim::Simulator sim;
       sim::Cluster cluster(sim, cs, options.seed + i);
-      const dag::JobDag dag = to_job_dag(jobs[i], ref);
       engine::RunOptions ro;
       ro.seed = options.seed + i;
       ro.plan.delay = models[i].delay;
       engine::JobRun run(cluster, dag, std::move(ro));
       run.start();
       sim.run();
-      return run.result().jct;
+      engine_jcts[i] = run.result().jct;
+      calibrator.observe(
+          sig, core::observe_timelines(models[i].predicted, run.result()));
+    }
+  } else {
+    // 1) Dedicated-sub-cluster model per job. Jobs are planned independently
+    //    (seeded by index, written to per-index slots), so the fan-out across
+    //    the pool is bit-identical to the sequential loop for any thread
+    //    count.
+    ThreadPool pool(options.resolved_threads());
+    pool.parallel_for(jobs.size(), [&](std::size_t i) {
+      models[i] = model_job(jobs[i], options, options.seed + i);
     });
+
+    // 1b) Engine validation: replay each job's planned schedule through the
+    //     real discrete-event engine on its dedicated sub-cluster. Every
+    //     index is a self-contained world (own Simulator, Cluster, JobRun),
+    //     so the ShardedRunner fan-out is bit-identical for any shard count.
+    if (options.engine_validate) {
+      sim::ShardedRunner runner(options.engine_shards);
+      engine_jcts = runner.run<Seconds>(jobs.size(), [&](std::size_t i) {
+        const auto [cs, ref] = sub_cluster_for(options);
+        sim::Simulator sim;
+        sim::Cluster cluster(sim, cs, options.seed + i);
+        const dag::JobDag dag = to_job_dag(jobs[i], ref);
+        engine::RunOptions ro;
+        ro.seed = options.seed + i;
+        ro.plan.delay = models[i].delay;
+        engine::JobRun run(cluster, dag, std::move(ro));
+        run.start();
+        sim.run();
+        return run.result().jct;
+      });
+    }
   }
 
   // Whole-cluster capacities for the sharing/utilization accounting.
@@ -295,6 +376,7 @@ ReplayResult replay(const std::vector<TraceJob>& jobs,
       jr.cpu_util = models[idx].cpu_util;
       jr.net_util = models[idx].net_util;
       jr.planned_delay = models[idx].planned_delay;
+      jr.calibration = models[idx].factors;
     }
     record_sample(now);
   }

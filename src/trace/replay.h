@@ -19,10 +19,12 @@
 #include <string>
 #include <vector>
 
+#include "core/calibration.h"
 #include "core/delay_calculator.h"
 #include "metrics/timeseries.h"
 #include "sim/cluster.h"
 #include "trace/trace.h"
+#include "util/status.h"
 
 namespace ds::trace {
 
@@ -55,7 +57,27 @@ struct ReplayOptions : CommonOptions {
   // are bit-identical for any shard count, including 1.
   bool engine_validate = false;
   int engine_shards = 1;  // <= 0 = hardware concurrency
+  // Adaptive replay: jobs are processed *sequentially in arrival order*;
+  // each is planned on its workload's calibrated profile (a shared
+  // ModelCalibrator keyed by workload signature), executed through the
+  // discrete-event engine for ground truth (engine_jct), and its measured
+  // phase spans are folded back into the calibrator — so recurrent jobs
+  // plan from observed truth. Deterministic for a fixed seed regardless of
+  // the thread count (the adaptive pass never fans out).
+  bool adaptive = false;
+  // Planner-side model-error injection for the drift ablation: the planner
+  // believes network bandwidth is `perturb_network` × and process rates are
+  // `perturb_compute` × the truth the engine executes. 1.0 (exact
+  // multiplicative identity) = an accurate profile.
+  double perturb_network = 1.0;
+  double perturb_compute = 1.0;
 };
+
+// Validates field combinations (positive machine/slot/candidate counts,
+// engine_shards only meaningful under engine_validate or adaptive, sane
+// perturbation scales). replay() enforces this (throwing CheckError with
+// the same message); CLIs call it up front for a friendly `error: …`.
+Status validate(const ReplayOptions& options);
 
 struct ReplayJobResult {
   Seconds submit = 0;
@@ -68,9 +90,13 @@ struct ReplayJobResult {
   // the stagger budget the fleet-level analytics aggregate.
   Seconds planned_delay = 0;
   // Dedicated-sub-cluster JCT measured by the discrete-event engine
-  // (ReplayOptions::engine_validate only; 0 otherwise). Comparing against
-  // dedicated_time quantifies the analytic evaluator's model error.
+  // (ReplayOptions::engine_validate or adaptive; 0 otherwise). Comparing
+  // against dedicated_time quantifies the analytic evaluator's model error.
   Seconds engine_jct = 0;
+  // Correction factors the planner applied to this job's profile
+  // (ReplayOptions::adaptive only; identity otherwise). Watching these
+  // converge toward the injected perturbation is the calibration ablation.
+  core::CalibrationFactors calibration;
 };
 
 struct ReplayResult {

@@ -1,0 +1,37 @@
+// ds::Status — a tiny explicit error value for options validation.
+//
+// DS_CHECK is the right tool for *invariants* (violations are bugs and throw
+// CheckError), but user-provided configuration deserves a recoverable,
+// message-first path: validators return a Status describing the first
+// problem found, callers decide whether to throw, print, or repair. The
+// CLIs surface Status messages verbatim as `error: <message>`.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace ds {
+
+class Status {
+ public:
+  Status() = default;  // ok
+
+  static Status ok() { return Status(); }
+  static Status error(std::string message) {
+    Status s;
+    s.ok_ = false;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool is_ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  // Empty for ok statuses.
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+}  // namespace ds

@@ -314,6 +314,47 @@ TEST(FetchFailure, LosingEveryWorkerPermanentlyStrandsTheJob) {
 
 // ---------- determinism ----------
 
+TEST(FaultDeterminism, ExpansionIsBitReproducibleFromTheSeed) {
+  // The injector's RNG is derived from CommonOptions::seed XOR a fixed salt
+  // (sim::kFaultSeedSalt), so the stochastic crash schedule is a pure
+  // function of (plan, seed): same seed → bit-identical expansion, different
+  // seed → a decorrelated one.
+  sim::FaultPlan p;
+  p.crash_rate = 5e-3;
+  p.crash_horizon = 2000.0;
+  p.mean_downtime = 50.0;
+  auto expand = [&](std::uint64_t seed) {
+    sim::Simulator sim;
+    sim::Cluster cluster(sim, sim::ClusterSpec::three_node(), 7);
+    sim::FaultInjector inj(cluster, p, seed);
+    inj.start();
+    return inj.expanded_crashes();
+  };
+  const auto a = expand(99);
+  const auto b = expand(99);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node, b[i].node);
+    // Bit-level equality, not approximate: the schedule must replay exactly.
+    EXPECT_EQ(a[i].at, b[i].at);
+    EXPECT_EQ(a[i].downtime, b[i].downtime);
+  }
+  const auto c = expand(100);
+  bool differs = a.size() != c.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i)
+    differs = a[i].node != c[i].node || a[i].at != c[i].at ||
+              a[i].downtime != c[i].downtime;
+  EXPECT_TRUE(differs) << "different seeds produced the same crash schedule";
+}
+
+TEST(FaultDeterminism, SaltDecorrelatesInjectorFromEngineRng) {
+  // The salt keeps the injector's draws off the engine's Rng(seed) stream:
+  // an injector seeded with `seed` must not replay the raw-seed stream.
+  EXPECT_NE(sim::kFaultSeedSalt, 0u);
+  EXPECT_EQ(sim::kFaultSeedSalt, 0xFA'17'5E'ED'0D'15'EA'5Eull);
+}
+
 TEST(FaultDeterminism, SameSeedAndPlanGiveIdenticalResults) {
   const dag::JobDag dag = chain_job();
   sim::FaultPlan plan;
