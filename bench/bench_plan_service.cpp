@@ -1,0 +1,158 @@
+// Plan-as-a-service throughput: plans/sec and per-request latency through
+// the PlanService, cold (every request computes a DelayCalculator plan) vs
+// warm (recurrent requests served from the sharded PlanCache). Writes
+// BENCH_plan_service.json (consumed by tools/check_bench.py, which enforces
+// the cold/warm floors and the headline warm-vs-cold speedup gate).
+//
+// The stream models a recurrent-job service: a pool of distinct workloads
+// (the §5 suite at several volume scales), each requested many times. Warm
+// hits are DS_CHECKed bit-identical to the cold plans they memoized — the
+// speedup must never come from answering a different plan.
+//
+//   ./bench_plan_service [output.json]
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/delay_calculator.h"
+#include "core/profile.h"
+#include "metrics/stats.h"
+#include "sim/cluster.h"
+#include "store/plan_service.h"
+#include "util/check.h"
+#include "util/table.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+struct Sample {
+  std::string mode;
+  std::size_t requests = 0;
+  double plans_per_sec = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double hit_rate = 0;
+};
+
+Sample measure(const std::string& mode, std::vector<double>& latencies,
+               double total_ms, double hit_rate) {
+  std::sort(latencies.begin(), latencies.end());
+  Sample s;
+  s.mode = mode;
+  s.requests = latencies.size();
+  s.plans_per_sec = 1000.0 * static_cast<double>(latencies.size()) / total_ms;
+  s.p50_ms = ds::metrics::percentile(latencies, 50);
+  s.p99_ms = ds::metrics::percentile(latencies, 99);
+  s.hit_rate = hit_rate;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ds;
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_plan_service.json";
+
+  // The workload pool: the benchmark suite at 4 volume scales → 4 × suite
+  // distinct signatures, each a genuinely different planning problem.
+  constexpr double kScales[] = {0.8, 1.0, 1.2, 1.5};
+  std::vector<dag::JobDag> jobs;
+  for (const double scale : kScales)
+    for (auto& w : workloads::benchmark_suite(scale))
+      jobs.push_back(std::move(w.dag));
+  const sim::ClusterSpec spec = sim::ClusterSpec::paper_prototype();
+  std::vector<core::JobProfile> profiles;
+  profiles.reserve(jobs.size());
+  for (const auto& j : jobs)
+    profiles.push_back(core::JobProfile::from(j, spec));
+
+  store::PlanServiceOptions sopt;
+  store::PlanService service(sopt);
+
+  // --- Cold: every request is a distinct never-seen (signature, bucket), so
+  // each one runs the full DelayCalculator. Several passes with the cache
+  // invalidated in between keep the sample size honest.
+  constexpr int kColdPasses = 4;
+  std::vector<double> cold_lat;
+  std::vector<core::DelaySchedule> reference;
+  double cold_ms = 0;
+  for (int pass = 0; pass < kColdPasses; ++pass) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const std::uint64_t sig = core::workload_signature(jobs[i]);
+      service.cache().invalidate_signature(sig);
+      const auto t0 = Clock::now();
+      const auto planned = service.plan(jobs[i], profiles[i]);
+      const double ms = ms_since(t0);
+      cold_ms += ms;
+      cold_lat.push_back(ms);
+      DS_CHECK_MSG(!planned.cache_hit, "cold request hit the cache");
+      if (pass == 0) reference.push_back(*planned.plan);
+    }
+  }
+  const Sample cold = measure("cold", cold_lat, cold_ms, 0.0);
+
+  // --- Warm: the recurrent stream. The last cold pass left every workload
+  // cached; requests round-robin the pool and must all hit.
+  const std::size_t kWarmRequests = 20000;
+  std::vector<double> warm_lat;
+  warm_lat.reserve(kWarmRequests);
+  const std::uint64_t hits_before = service.cache().hits();
+  double warm_ms = 0;
+  for (std::size_t r = 0; r < kWarmRequests; ++r) {
+    const std::size_t i = r % jobs.size();
+    const auto t0 = Clock::now();
+    const auto planned = service.plan(jobs[i], profiles[i]);
+    const double ms = ms_since(t0);
+    warm_ms += ms;
+    warm_lat.push_back(ms);
+    DS_CHECK_MSG(planned.cache_hit, "warm request missed the cache");
+    // The memoized plan must be the cold plan, bit for bit.
+    DS_CHECK_MSG(planned.plan->delay == reference[i].delay,
+                 "warm plan differs from the cold plan");
+    DS_CHECK_MSG(
+        planned.plan->predicted_makespan == reference[i].predicted_makespan,
+        "warm plan predicts a different makespan");
+  }
+  const double warm_hit_rate =
+      static_cast<double>(service.cache().hits() - hits_before) /
+      static_cast<double>(kWarmRequests);
+  const Sample warm = measure("warm", warm_lat, warm_ms, warm_hit_rate);
+  const double speedup = warm.plans_per_sec / cold.plans_per_sec;
+
+  // --- Human-readable report.
+  std::cout << "=== Plan-as-a-service throughput (" << jobs.size()
+            << " distinct workloads) ===\n";
+  TablePrinter t({"mode", "requests", "plans/s", "p50 ms", "p99 ms",
+                  "hit rate"});
+  t.set_precision(3);
+  for (const Sample* s : {&cold, &warm})
+    t.add_row({s->mode, static_cast<std::int64_t>(s->requests),
+               s->plans_per_sec, s->p50_ms, s->p99_ms, s->hit_rate});
+  t.print(std::cout);
+  std::cout << "\nwarm/cold speedup: " << speedup << "x\n";
+
+  // --- Machine-readable report for tools/check_bench.py.
+  std::ofstream json(out_path);
+  json.precision(6);
+  json << "{\n  \"plan_service\": [\n";
+  for (const Sample* s : {&cold, &warm}) {
+    json << "    {\"mode\": \"" << s->mode << "\", \"requests\": "
+         << s->requests << ", \"plans_per_sec\": " << s->plans_per_sec
+         << ", \"p50_ms\": " << s->p50_ms << ", \"p99_ms\": " << s->p99_ms
+         << ", \"hit_rate\": " << s->hit_rate << "}"
+         << (s == &cold ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"plan_service_warm_speedup\": " << speedup << "\n}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

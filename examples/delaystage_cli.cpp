@@ -14,6 +14,16 @@
 //                                      [--quantile Q]
 //                                      [--report-out FILE] [--strict]
 //   ./delaystage_cli demo                 # print a sample spec
+//   ./delaystage_cli serve [--store FILE] [--cluster ...] [--threads N]
+//                          [--batch N] [--cache-shards N] [--cache-capacity N]
+//                          [--quantile Q]
+//
+// Daemon mode: `serve` reads newline-delimited JSON plan requests on stdin
+// and answers one JSON object per line on stdout (see store/daemon.h for the
+// request schema). Responses carry "cache": "hit" | "miss". --store names
+// the persistent profile store (loaded at startup, saved at EOF and on
+// {"cmd":"save"}); --batch bounds how many requests are planned concurrently
+// per dispatch round.
 //
 // Adaptive planning: --quantile Q (0 < Q < 1) makes the planner target the
 // Q-th quantile of each stage's straggler distribution instead of the
@@ -65,6 +75,7 @@
 #include "sched/strategy.h"
 #include "sim/cluster.h"
 #include "sim/faults.h"
+#include "store/daemon.h"
 #include "util/table.h"
 
 namespace {
@@ -393,12 +404,50 @@ int cmd_report(const ds::dag::JobDag& job, const ds::sim::ClusterSpec& spec,
   return strict && !rep.drift.within_bounds() ? 3 : 0;
 }
 
+// Plan-as-a-service: NDJSON requests on stdin, responses on stdout, status
+// chatter on stderr (so piped clients see clean JSON).
+int cmd_serve(int argc, char** argv, const ds::sim::ClusterSpec& spec,
+              const ds::cli::CommonFlags& cf, double quantile,
+              ds::cli::ObsSink& sink) {
+  using namespace ds;
+  store::DaemonOptions dopt;
+  dopt.cluster = spec;
+  dopt.threads = cf.threads;
+  dopt.batch =
+      static_cast<std::size_t>(cli::int_flag(argc, argv, "--batch", 32));
+  dopt.service.store_path = cli::flag(argc, argv, "--store", "");
+  dopt.service.cache.shards =
+      static_cast<std::size_t>(cli::int_flag(argc, argv, "--cache-shards", 16));
+  dopt.service.cache.capacity_per_shard = static_cast<std::size_t>(
+      cli::int_flag(argc, argv, "--cache-capacity", 64));
+  cf.apply(dopt.service.calculator);
+  dopt.service.calculator.obs = sink.get();
+  dopt.service.calculator.model.quantile = quantile;
+  if (const Status st = core::validate(dopt.service.calculator); !st.is_ok())
+    throw std::runtime_error(st.message());
+
+  store::PlanDaemon daemon(dopt, sink.get());
+  if (!dopt.service.store_path.empty() && !daemon.service().load_info().missing)
+    std::cerr << "# profile store: " << daemon.service().load_info().records
+              << " workload(s) loaded from " << dopt.service.store_path << '\n';
+  const store::DaemonStats st = daemon.serve(std::cin, std::cout);
+  if (const Status s = daemon.service().save(); !s.is_ok())
+    std::cerr << "warning: " << s.message() << '\n';
+  const store::PlanCache& cache = daemon.service().cache();
+  std::cerr << "# served " << st.requests << " request(s): " << st.plans
+            << " ok, " << st.errors << " error(s); cache " << cache.hits()
+            << " hit(s) / " << cache.misses() << " miss(es), "
+            << cache.evictions() << " eviction(s)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr
-        << "usage: delaystage_cli plan|run|report|demo [job.spec] [flags]\n";
+        << "usage: delaystage_cli plan|run|report|serve|demo [job.spec] "
+           "[flags]\n";
     return 2;
   }
   const std::string cmd = argv[1];
@@ -408,9 +457,6 @@ int main(int argc, char** argv) {
   }
   try {
     using namespace ds;
-    const dag::JobDag job = argc > 2 && argv[2][0] != '-'
-                                ? dag::load_job_spec_file(argv[2])
-                                : dag::load_job_spec_text(kDemoSpec);
     const auto spec =
         cluster_for(cli::flag(argc, argv, "--cluster", "prototype"));
     const cli::CommonFlags cf = cli::parse_common_flags(argc, argv);
@@ -420,6 +466,15 @@ int main(int argc, char** argv) {
         cmd == "report" || (cmd == "run" && !cf.report_out.empty());
     cli::ObsSink sink(cf, force_trace);
     const double quantile = cli::num_flag(argc, argv, "--quantile", 0);
+    if (cmd == "serve") {
+      // Daemon mode takes no job spec: jobs arrive inside the requests.
+      const int rc = cmd_serve(argc, argv, spec, cf, quantile, sink);
+      sink.flush();
+      return rc;
+    }
+    const dag::JobDag job = argc > 2 && argv[2][0] != '-'
+                                ? dag::load_job_spec_file(argv[2])
+                                : dag::load_job_spec_text(kDemoSpec);
     int rc = 2;
     if (cmd == "plan") {
       rc = cmd_plan(job, spec, cf, quantile, sink);

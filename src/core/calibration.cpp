@@ -118,6 +118,27 @@ CalibrationFactors ModelCalibrator::factors(std::uint64_t signature) const {
   return it != factors_.end() ? it->second : CalibrationFactors{};
 }
 
+std::vector<std::pair<std::uint64_t, CalibrationFactors>>
+ModelCalibrator::snapshot() const {
+  std::vector<std::pair<std::uint64_t, CalibrationFactors>> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(factors_.size());
+    for (const auto& [sig, f] : factors_) out.emplace_back(sig, f);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+void ModelCalibrator::restore(std::uint64_t signature,
+                              const CalibrationFactors& factors) {
+  DS_CHECK_MSG(factors.network > 0 && factors.compute > 0 && factors.write > 0,
+               "restored calibration factors must be positive");
+  std::lock_guard<std::mutex> lock(mu_);
+  factors_[signature] = factors;
+}
+
 std::size_t ModelCalibrator::workloads() const {
   std::lock_guard<std::mutex> lock(mu_);
   return factors_.size();

@@ -26,6 +26,8 @@
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "core/delay_calculator.h"
 #include "core/perf_model.h"
@@ -106,6 +108,14 @@ class ModelCalibrator {
 
   // Current factors; identity for never-observed signatures.
   CalibrationFactors factors(std::uint64_t signature) const;
+
+  // Persistence hooks for the profile store (store/profile_store.h):
+  // snapshot() returns every signature's factors sorted by signature (a
+  // deterministic order, so saved files are byte-stable run over run);
+  // restore() overwrites one signature's factors wholesale — the loaded
+  // values are the bit-exact doubles snapshot() exported, never re-derived.
+  std::vector<std::pair<std::uint64_t, CalibrationFactors>> snapshot() const;
+  void restore(std::uint64_t signature, const CalibrationFactors& factors);
 
   std::size_t workloads() const;
   const CalibrationOptions& options() const { return opt_; }

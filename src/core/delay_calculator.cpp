@@ -68,6 +68,13 @@ DelaySchedule DelayCalculator::compute() const {
     obs::counter(opt_.obs, "planner.evaluations").inc(out.evaluations);
     obs::counter(opt_.obs, "planner.memo_hits").inc(out.memo_hits);
     obs::gauge(opt_.obs, "planner.paths").set(static_cast<double>(out.paths.size()));
+    // Fraction of candidate scores served by the ScoreMemo this run; the
+    // evaluation counter excludes memo hits, so the denominator is the sum.
+    const double looked_up =
+        static_cast<double>(out.evaluations + out.memo_hits);
+    obs::gauge(opt_.obs, "planner.memo_hit_rate")
+        .set(looked_up > 0 ? static_cast<double>(out.memo_hits) / looked_up
+                           : 0.0);
   };
 
   ThreadPool pool(opt_.resolved_threads());

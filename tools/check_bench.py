@@ -208,6 +208,24 @@ def main():
                 floor,
             )
 
+    service_floors = baseline.get("plan_service_plans_per_sec", {})
+    for entry in results.get("plan_service", []):
+        mode = field(entry, "mode", "plan_service")
+        floor = service_floors.get(mode)
+        if floor is not None:
+            check(
+                f"plan_service[{mode}] plans/s",
+                field(entry, "plans_per_sec", "plan_service"),
+                floor,
+            )
+    speedup_floor = baseline.get("plan_service_min_warm_speedup")
+    if speedup_floor is not None and "plan_service_warm_speedup" in results:
+        check(
+            "plan_service warm/cold speedup",
+            results["plan_service_warm_speedup"],
+            speedup_floor,
+        )
+
     if checked == 0:
         known = (
             "planner",
@@ -217,6 +235,7 @@ def main():
             "engine",
             "engine_replay",
             "adaptive",
+            "plan_service",
         )
         present = [k for k in known if results.get(k)]
         sys.exit(
