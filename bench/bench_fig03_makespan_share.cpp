@@ -13,7 +13,8 @@ int main() {
 
   trace::SyntheticTraceOptions opt;
   opt.num_jobs = 20000;
-  const auto jobs = trace::synthetic_trace(opt, 2018);
+  opt.seed = 2018;
+  const auto jobs = trace::synthetic_trace(opt);
   const trace::TraceStats st = trace::analyze(jobs);
 
   TablePrinter t({"T(parallel)/T(job) %", "CDF %"});

@@ -18,12 +18,14 @@ int main() {
   // full trace is 2.78M jobs on 4000 machines; the replay scales linearly).
   trace::SyntheticTraceOptions topt;
   topt.num_jobs = 100000;
-  const auto jobs = trace::synthetic_trace(topt, 2018);
+  topt.seed = 2018;
+  const auto jobs = trace::synthetic_trace(topt);
 
   trace::ReplayOptions opt;
   opt.strategy = "Fuxi";
   opt.cluster.num_workers = 400;
-  const trace::ReplayResult r = trace::replay(jobs, opt, 1);
+  opt.seed = 1;
+  const trace::ReplayResult r = trace::replay(jobs, opt);
 
   std::cout << "--- (a) cluster averages (half-day buckets) ---\n";
   bench::print_series(std::cout, "day",

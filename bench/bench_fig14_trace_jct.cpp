@@ -18,7 +18,8 @@ int main() {
   trace::SyntheticTraceOptions topt;
   topt.num_jobs = 2500;
   topt.horizon = 2 * 24 * 3600.0;
-  const auto jobs = trace::synthetic_trace(topt, 2018);
+  topt.seed = 2018;
+  const auto jobs = trace::synthetic_trace(topt);
 
   const char* strategies[] = {"Fuxi", "DelayStage", "random DelayStage",
                               "ascending DelayStage"};
@@ -29,7 +30,8 @@ int main() {
     trace::ReplayOptions opt;
     opt.strategy = strategies[i];
     opt.cluster.num_workers = 40;
-    const trace::ReplayResult r = trace::replay(jobs, opt, 7);
+    opt.seed = 7;
+    const trace::ReplayResult r = trace::replay(jobs, opt);
     for (const auto& j : r.jobs) cdfs[i].add(j.jct);
     means[i] = r.mean_jct();
     dedicated[i] = r.mean_dedicated();

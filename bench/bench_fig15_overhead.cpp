@@ -34,7 +34,8 @@ void BM_TraceJobStages(benchmark::State& state) {
   topt.min_stages = n_stages;
   topt.max_stages = n_stages;
   topt.chain_fraction = 0.0;
-  const auto jobs = trace::synthetic_trace(topt, 2018 + n_stages);
+  topt.seed = static_cast<std::uint64_t>(2018 + n_stages);
+  const auto jobs = trace::synthetic_trace(topt);
   const auto spec = sim::ClusterSpec::paper_simulation();
 
   sim::ClusterSpec sub = spec;

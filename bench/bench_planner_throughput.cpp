@@ -89,7 +89,8 @@ int main(int argc, char** argv) {
   // --- Replay: per-job planning fan-out over a synthetic trace slice.
   trace::SyntheticTraceOptions topt;
   topt.num_jobs = 200;
-  const auto jobs = trace::synthetic_trace(topt, 2018);
+  topt.seed = 2018;
+  const auto jobs = trace::synthetic_trace(topt);
   std::vector<ReplaySample> replays;
   double reference_jct = -1;
   for (int threads : thread_counts) {
@@ -97,8 +98,9 @@ int main(int argc, char** argv) {
     ropt.strategy = "DelayStage";
     ropt.cluster.num_workers = 40;
     ropt.threads = threads;
+    ropt.seed = 7;
     const auto t0 = Clock::now();
-    const trace::ReplayResult r = trace::replay(jobs, ropt, 7);
+    const trace::ReplayResult r = trace::replay(jobs, ropt);
     const double ms = ms_since(t0);
 
     if (reference_jct < 0) reference_jct = r.mean_jct();

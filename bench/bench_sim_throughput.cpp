@@ -167,7 +167,8 @@ int main(int argc, char** argv) {
   topt.num_jobs = 60;
   topt.max_stages = 10;
   topt.max_stage_time = 300;
-  const auto jobs = trace::synthetic_trace(topt, 2018);
+  topt.seed = 2018;
+  const auto jobs = trace::synthetic_trace(topt);
   std::vector<ReplaySample> replays;
   std::vector<Seconds> reference_engine_jcts;
   for (int shards : shard_counts) {
@@ -176,8 +177,9 @@ int main(int argc, char** argv) {
     ropt.threads = 1;
     ropt.engine_validate = true;
     ropt.engine_shards = shards;
+    ropt.seed = 7;
     const auto t0 = Clock::now();
-    const trace::ReplayResult r = trace::replay(jobs, ropt, 7);
+    const trace::ReplayResult r = trace::replay(jobs, ropt);
     const double ms = ms_since(t0);
 
     std::vector<Seconds> ejcts;

@@ -18,7 +18,8 @@ int main() {
   trace::SyntheticTraceOptions topt;
   topt.num_jobs = 2500;
   topt.horizon = 2 * 24 * 3600.0;
-  const auto jobs = trace::synthetic_trace(topt, 2018);
+  topt.seed = 2018;
+  const auto jobs = trace::synthetic_trace(topt);
 
   TablePrinter t({"strategy", "CPU %", "network %"});
   t.set_precision(1);
@@ -29,7 +30,8 @@ int main() {
     trace::ReplayOptions opt;
     opt.strategy = strategy;
     opt.cluster.num_workers = 40;
-    const trace::ReplayResult r = trace::replay(jobs, opt, 7);
+    opt.seed = 7;
+    const trace::ReplayResult r = trace::replay(jobs, opt);
     const obs::analytics::FleetUtilization f =
         obs::analytics::fleet_utilization(r);
     t.add_row({std::string(strategy), f.job_cpu_pct, f.job_net_pct});

@@ -1,6 +1,14 @@
 // Shared command-line plumbing for the example CLIs, so delaystage_cli and
-// trace_analysis spell and validate --threads/--seed/--trace-out/--metrics-out
-// identically.
+// trace_analysis spell and validate
+// --threads/--seed/--quantile/--trace-out/--metrics-out/--report-out
+// identically, and dispatch subcommands through one registry.
+//
+// Subcommand registry: the canonical commands (plan / run / report / trace /
+// serve / sched / demo) are declared once here — name, operand synopsis and
+// summary — and each binary binds run functions to the subset it implements
+// via std_subcommand(), then hands the table to dispatch(). A CLI may name a
+// default command (trace_analysis defaults to `trace`) so bare invocations
+// keep working.
 //
 // ObsSink owns the per-invocation obs::Observability: construct it from the
 // parsed flags, hand sink.get() to CommonOptions::obs, and call flush() once
@@ -76,11 +84,13 @@ inline double num_flag(int argc, char** argv, const std::string& name,
   return v;
 }
 
-// The flags every CLI shares. threads/seed feed ds::CommonOptions; the two
-// output paths decide whether an Observability sink is created at all.
+// The flags every CLI shares. threads/seed feed ds::CommonOptions, quantile
+// the planner model; the output paths decide whether an Observability sink
+// is created at all.
 struct CommonFlags {
   int threads = 1;
   std::uint64_t seed = 42;
+  double quantile = 0;      // 0 = legacy mean model; (0,1) = straggler target
   std::string trace_out;    // Chrome trace_event JSON; empty = no tracing
   std::string metrics_out;  // metrics registry JSON; empty = no dump
   std::string report_out;   // analytics report (.csv → CSV, else JSON)
@@ -101,10 +111,92 @@ inline CommonFlags parse_common_flags(int argc, char** argv,
       argc, argv, "--seed", static_cast<long long>(default_seed));
   if (seed < 0) throw std::runtime_error("--seed must be >= 0");
   f.seed = static_cast<std::uint64_t>(seed);
+  f.quantile = num_flag(argc, argv, "--quantile", 0);
+  if (f.quantile < 0 || f.quantile >= 1)
+    throw std::runtime_error("--quantile wants a value in [0, 1)");
   f.trace_out = flag(argc, argv, "--trace-out", "");
   f.metrics_out = flag(argc, argv, "--metrics-out", "");
   f.report_out = flag(argc, argv, "--report-out", "");
   return f;
+}
+
+// One dispatchable subcommand. `run` receives the binary's full argc/argv
+// (the subcommand name, when given explicitly, sits at argv[1]).
+struct Subcommand {
+  std::string name;
+  std::string operands;  // synopsis after the name, e.g. "<job.spec> [flags]"
+  std::string summary;   // one help line
+  int (*run)(int argc, char** argv) = nullptr;
+};
+
+// The canonical subcommand surface, declared once so both CLIs spell the
+// same names and help text; binaries bind run functions to the subset they
+// implement. Unknown names are an error (catches typos at registry setup).
+inline Subcommand std_subcommand(const std::string& name,
+                                 int (*run)(int, char**)) {
+  static const Subcommand kStandard[] = {
+      {"plan", "[job.spec] [flags]",
+       "compute the DelayStage schedule and print it", nullptr},
+      {"run", "[job.spec] [flags]",
+       "execute one job on the simulated cluster", nullptr},
+      {"report", "[job.spec] [flags]",
+       "plan + execute, then print model-drift and interleaving analytics",
+       nullptr},
+      {"trace", "[batch_task.csv] [flags]",
+       "trace statistics plus a Fuxi vs DelayStage replay", nullptr},
+      {"serve", "[flags]",
+       "plan-as-a-service daemon: NDJSON requests on stdin", nullptr},
+      {"sched", "[flags]",
+       "online multi-job scheduler: a job stream on one shared cluster",
+       nullptr},
+      {"demo", "", "print a sample job spec", nullptr},
+  };
+  for (const Subcommand& c : kStandard) {
+    if (c.name == name) {
+      Subcommand bound = c;
+      bound.run = run;
+      return bound;
+    }
+  }
+  throw std::logic_error("std_subcommand: unknown subcommand '" + name + "'");
+}
+
+inline void print_usage(std::ostream& os, const std::string& prog,
+                        const std::vector<Subcommand>& cmds,
+                        const std::string& default_cmd = "") {
+  os << "usage: " << prog << " <command> [args]\n\ncommands:\n";
+  for (const Subcommand& c : cmds) {
+    os << "  " << c.name;
+    if (!c.operands.empty()) os << ' ' << c.operands;
+    os << "\n      " << c.summary;
+    if (c.name == default_cmd) os << " (default)";
+    os << '\n';
+  }
+  os << "\nshared flags: --threads N (0 = hw concurrency), --seed N,\n"
+        "  --quantile Q (0 < Q < 1: straggler-quantile planning),\n"
+        "  --trace-out FILE, --metrics-out FILE, --report-out FILE\n";
+}
+
+// Routes argv[1] to its subcommand. `help`/`--help`/`-h` print usage. When
+// `default_cmd` is set, an argv[1] that is no known command (a file operand,
+// a flag, or nothing at all) falls through to that command; otherwise an
+// unknown command is an error.
+inline int dispatch(int argc, char** argv, const std::vector<Subcommand>& cmds,
+                    const std::string& default_cmd = "") {
+  const std::string prog = argc > 0 ? argv[0] : "cli";
+  const std::string cmd = argc > 1 ? argv[1] : "";
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    print_usage(std::cout, prog, cmds, default_cmd);
+    return 0;
+  }
+  for (const Subcommand& c : cmds)
+    if (c.name == cmd) return c.run(argc, argv);
+  if (!default_cmd.empty()) {
+    for (const Subcommand& c : cmds)
+      if (c.name == default_cmd) return c.run(argc, argv);
+  }
+  print_usage(std::cerr, prog, cmds, default_cmd);
+  return 2;
 }
 
 // Owns the Observability for one CLI invocation. The tracer is enabled only

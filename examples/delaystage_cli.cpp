@@ -1,4 +1,6 @@
-// Command-line front end: plan and simulate a job described by a spec file.
+// Command-line front end: plan and simulate jobs described by spec files.
+// Subcommands come from the shared registry in cli_flags.h (trace_analysis
+// uses the same one), so both CLIs spell flags and help identically.
 //
 //   ./delaystage_cli plan <job.spec> [--cluster prototype|three_node]
 //                                    [--threads N]   # 0 = hardware concurrency
@@ -17,6 +19,13 @@
 //   ./delaystage_cli serve [--store FILE] [--cluster ...] [--threads N]
 //                          [--batch N] [--cache-shards N] [--cache-capacity N]
 //                          [--quantile Q]
+//   ./delaystage_cli sched [--jobs N] [--rate R] [--arrival poisson|trace]
+//                          [--trace batch_task.csv] [--jobs-in FILE|-]
+//                          [--policy fifo|sjf|hard-first] [--no-delay]
+//                          [--max-share F] [--min-slots N] [--interference F]
+//                          [--delay-budget S] [--store FILE] [--scale F]
+//                          [--cluster ...] [--threads N] [--seed N]
+//                          [--quantile Q] [--report-out FILE]
 //
 // Daemon mode: `serve` reads newline-delimited JSON plan requests on stdin
 // and answers one JSON object per line on stdout (see store/daemon.h for the
@@ -24,6 +33,18 @@
 // the persistent profile store (loaded at startup, saved at EOF and on
 // {"cmd":"save"}); --batch bounds how many requests are planned concurrently
 // per dispatch round.
+//
+// Scheduler mode: `sched` runs the online multi-job service (ds::Scheduler)
+// — a stream of jobs on ONE shared simulated cluster. By default --jobs N
+// arrivals are drawn from a Poisson process at --rate jobs/s over the
+// benchmark-suite workloads (--scale sizes their datasets); --arrival trace
+// replays the inter-arrival gaps and DAGs of an Alibaba batch_task CSV
+// (--rate then rescales the gaps, preserving burstiness); --jobs-in reads
+// NDJSON submissions (see service/ndjson.h for the v1 schema; `-` = stdin).
+// Each finished job prints one NDJSON line on stdout; the fleet summary
+// (wait, slowdown, p99 JCT, cache hit rate) goes to stderr, and
+// --report-out writes it as JSON. --no-delay disables DelayStage planning
+// (the ablation baseline); --policy picks the cross-job ordering.
 //
 // Adaptive planning: --quantile Q (0 < Q < 1) makes the planner target the
 // Q-th quantile of each stage's straggler distribution instead of the
@@ -55,7 +76,9 @@
 //   job,my-etl
 //   stage,<name>,<tasks>,<input_gb>,<rate_mbps>,<output_gb>,<skew>
 //   edge,<parent_index>,<child_index>
+#include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -73,10 +96,15 @@
 #include "obs/analytics/analytics.h"
 #include "obs/analytics/report.h"
 #include "sched/strategy.h"
+#include "service/arrivals.h"
+#include "service/ndjson.h"
+#include "service/scheduler.h"
 #include "sim/cluster.h"
 #include "sim/faults.h"
 #include "store/daemon.h"
+#include "trace/alibaba.h"
 #include "util/table.h"
+#include "workloads/workloads.h"
 
 namespace {
 
@@ -140,14 +168,13 @@ void trace_predicted_timeline(ds::obs::Tracer* tr,
 }
 
 int cmd_plan(const ds::dag::JobDag& job, const ds::sim::ClusterSpec& spec,
-             const ds::cli::CommonFlags& cf, double quantile,
-             ds::cli::ObsSink& sink) {
+             const ds::cli::CommonFlags& cf, ds::cli::ObsSink& sink) {
   using namespace ds;
   const core::JobProfile profile = core::JobProfile::from(job, spec);
   core::CalculatorOptions copt;
   cf.apply(copt);
   copt.obs = sink.get();
-  copt.model.quantile = quantile;
+  copt.model.quantile = cf.quantile;
   if (const Status st = core::validate(copt); !st.is_ok())
     throw std::runtime_error(st.message());
   const core::DelaySchedule schedule =
@@ -352,15 +379,14 @@ int cmd_run(const ds::dag::JobDag& job, const ds::sim::ClusterSpec& spec,
 // and report model drift plus interleaving efficiency — the paper's model
 // validation (Figs. 9-11) and overlap studies (Figs. 5/12) for one job.
 int cmd_report(const ds::dag::JobDag& job, const ds::sim::ClusterSpec& spec,
-               const ds::cli::CommonFlags& cf, double quantile,
-               const std::string& report_out, bool strict,
-               ds::cli::ObsSink& sink) {
+               const ds::cli::CommonFlags& cf, const std::string& report_out,
+               bool strict, ds::cli::ObsSink& sink) {
   using namespace ds;
   const core::JobProfile profile = core::JobProfile::from(job, spec);
   core::CalculatorOptions copt;
   cf.apply(copt);
   copt.obs = sink.get();
-  copt.model.quantile = quantile;
+  copt.model.quantile = cf.quantile;
   if (const Status st = core::validate(copt); !st.is_ok())
     throw std::runtime_error(st.message());
   const core::DelaySchedule schedule =
@@ -407,8 +433,7 @@ int cmd_report(const ds::dag::JobDag& job, const ds::sim::ClusterSpec& spec,
 // Plan-as-a-service: NDJSON requests on stdin, responses on stdout, status
 // chatter on stderr (so piped clients see clean JSON).
 int cmd_serve(int argc, char** argv, const ds::sim::ClusterSpec& spec,
-              const ds::cli::CommonFlags& cf, double quantile,
-              ds::cli::ObsSink& sink) {
+              const ds::cli::CommonFlags& cf, ds::cli::ObsSink& sink) {
   using namespace ds;
   store::DaemonOptions dopt;
   dopt.cluster = spec;
@@ -422,7 +447,7 @@ int cmd_serve(int argc, char** argv, const ds::sim::ClusterSpec& spec,
       cli::int_flag(argc, argv, "--cache-capacity", 64));
   cf.apply(dopt.service.calculator);
   dopt.service.calculator.obs = sink.get();
-  dopt.service.calculator.model.quantile = quantile;
+  dopt.service.calculator.model.quantile = cf.quantile;
   if (const Status st = core::validate(dopt.service.calculator); !st.is_ok())
     throw std::runtime_error(st.message());
 
@@ -441,68 +466,224 @@ int cmd_serve(int argc, char** argv, const ds::sim::ClusterSpec& spec,
   return 0;
 }
 
+// Online multi-job scheduling: build the arrival stream (Poisson over the
+// benchmark suite, trace-driven from an Alibaba CSV, or explicit NDJSON
+// submissions), feed it through ds::Scheduler, drain, and report one NDJSON
+// row per job (stdout) plus fleet queueing metrics (stderr / --report-out).
+int cmd_sched(int argc, char** argv, const ds::sim::ClusterSpec& spec,
+              const ds::cli::CommonFlags& cf, ds::cli::ObsSink& sink) {
+  using namespace ds;
+  SchedulerOptions opt;
+  opt.cluster = spec;
+  cf.apply(opt);
+  opt.obs = sink.get();
+  opt.plan.calculator.model.quantile = cf.quantile;
+  if (const Status st = service::parse_order_policy(
+          cli::flag(argc, argv, "--policy", "fifo"), &opt.policy);
+      !st.is_ok())
+    throw std::runtime_error(st.message());
+  opt.plan_delays = !cli::has_flag(argc, argv, "--no-delay");
+  opt.plan.store_path = cli::flag(argc, argv, "--store", "");
+  opt.max_share = cli::num_flag(argc, argv, "--max-share", opt.max_share);
+  opt.min_slots_per_job = static_cast<int>(
+      cli::int_flag(argc, argv, "--min-slots", opt.min_slots_per_job));
+  opt.interference =
+      cli::num_flag(argc, argv, "--interference", opt.interference);
+  opt.delay_budget =
+      cli::num_flag(argc, argv, "--delay-budget", opt.delay_budget);
+  if (const Status st = validate(opt); !st.is_ok())
+    throw std::runtime_error(st.message());
+  Scheduler sched(opt);
+
+  const std::string jobs_in = cli::flag(argc, argv, "--jobs-in", "");
+  const std::string arrival = cli::flag(argc, argv, "--arrival", "poisson");
+  const std::string trace_file = cli::flag(argc, argv, "--trace", "");
+  const auto n =
+      static_cast<std::size_t>(cli::int_flag(argc, argv, "--jobs", 20));
+  const double rate = cli::num_flag(argc, argv, "--rate", 0.02);
+  if (rate <= 0) throw std::runtime_error("--rate must be > 0");
+
+  if (!jobs_in.empty()) {
+    std::ifstream file;
+    std::istream* in = &std::cin;
+    if (jobs_in != "-") {
+      file.open(jobs_in);
+      if (!file) throw std::runtime_error("cannot read " + jobs_in);
+      in = &file;
+    }
+    std::string line;
+    Seconds prev = 0;  // absent arrivals ride with the previous job's
+    while (std::getline(*in, line)) {
+      if (line.empty()) continue;
+      service::SchedRequest req;
+      if (const Status st = service::parse_sched_request(line, &req);
+          !st.is_ok())
+        throw std::runtime_error(st.message());
+      prev = req.arrival >= 0 ? req.arrival : prev;
+      sched.submit_at(prev, req.dag, req.priority);
+    }
+  } else if (arrival == "trace" || !trace_file.empty()) {
+    if (trace_file.empty())
+      throw std::runtime_error("--arrival trace needs --trace batch_task.csv");
+    const auto tjobs = trace::parse_batch_task_file(trace_file);
+    if (tjobs.empty())
+      throw std::runtime_error("no usable jobs in " + trace_file);
+    const std::size_t count = std::min(n, tjobs.size());
+    auto arrivals = service::trace_arrivals(tjobs, count);
+    if (cli::has_flag(argc, argv, "--rate"))
+      service::rescale_to_rate(arrivals, rate);
+    for (std::size_t i = 0; i < count; ++i)
+      sched.submit_at(arrivals[i], trace::to_job_dag(tjobs[i]));
+  } else if (arrival == "poisson") {
+    const double scale = cli::num_flag(argc, argv, "--scale", 1.0);
+    const auto suite = workloads::benchmark_suite(scale);
+    const auto arrivals = service::poisson_arrivals(n, rate, cf.seed);
+    for (std::size_t i = 0; i < n; ++i)
+      sched.submit_at(arrivals[i], suite[i % suite.size()].dag);
+  } else {
+    throw std::runtime_error("--arrival wants poisson|trace, got '" +
+                             arrival + "'");
+  }
+
+  sched.drain();
+
+  const FleetStats fs = sched.fleet();
+  for (service::JobId id = 1; id <= fs.submitted; ++id)
+    service::write_job_status(std::cout, sched.poll(id));
+  std::cerr << "# " << fs.finished << "/" << fs.submitted
+            << " job(s) finished (" << fs.failed << " failed), policy "
+            << service::to_string(opt.policy)
+            << (opt.plan_delays ? "" : ", delays off") << '\n'
+            << "# makespan " << fmt(fs.makespan, 1) << " s, wait mean "
+            << fmt(fs.mean_wait, 1) << " s / max " << fmt(fs.max_wait, 1)
+            << " s, JCT mean " << fmt(fs.mean_jct, 1) << " s / p99 "
+            << fmt(fs.p99_jct, 1) << " s\n"
+            << "# slowdown mean " << fmt(fs.mean_slowdown, 2) << " / p99 "
+            << fmt(fs.p99_slowdown, 2) << ", peak slot occupancy "
+            << fmt(100.0 * fs.peak_slot_occupancy, 1) << " %, plan cache hit "
+            << fmt(100.0 * fs.plan_cache_hit_rate, 1) << " %\n";
+  if (!cf.report_out.empty()) {
+    std::ofstream out(cf.report_out);
+    if (!out) throw std::runtime_error("cannot write " + cf.report_out);
+    out << "{\n  \"v\": 1,\n  \"policy\": \""
+        << service::to_string(opt.policy) << "\",\n  \"plan_delays\": "
+        << (opt.plan_delays ? "true" : "false") << ",\n  \"submitted\": "
+        << fs.submitted << ",\n  \"finished\": " << fs.finished
+        << ",\n  \"failed\": " << fs.failed << ",\n  \"makespan_s\": "
+        << fs.makespan << ",\n  \"mean_wait_s\": " << fs.mean_wait
+        << ",\n  \"max_wait_s\": " << fs.max_wait << ",\n  \"mean_jct_s\": "
+        << fs.mean_jct << ",\n  \"p99_jct_s\": " << fs.p99_jct
+        << ",\n  \"mean_slowdown\": " << fs.mean_slowdown
+        << ",\n  \"p99_slowdown\": " << fs.p99_slowdown
+        << ",\n  \"peak_slot_occupancy\": " << fs.peak_slot_occupancy
+        << ",\n  \"plan_cache_hit_rate\": " << fs.plan_cache_hit_rate
+        << ",\n  \"mean_planned_delay_s\": " << fs.mean_planned_delay
+        << "\n}\n";
+    if (!out) throw std::runtime_error("failed writing " + cf.report_out);
+    std::cerr << "# fleet report written to " << cf.report_out << '\n';
+  }
+  return fs.failed == 0 ? 0 : 1;
+}
+
+// ---- subcommand entry points (shared registry in cli_flags.h) ----------
+
+ds::dag::JobDag job_operand(int argc, char** argv) {
+  return argc > 2 && argv[2][0] != '-'
+             ? ds::dag::load_job_spec_file(argv[2])
+             : ds::dag::load_job_spec_text(kDemoSpec);
+}
+
+int sub_demo(int, char**) {
+  std::cout << kDemoSpec;
+  return 0;
+}
+
+int sub_plan(int argc, char** argv) {
+  using namespace ds;
+  const auto spec =
+      cluster_for(cli::flag(argc, argv, "--cluster", "prototype"));
+  const cli::CommonFlags cf = cli::parse_common_flags(argc, argv);
+  cli::ObsSink sink(cf);
+  const int rc = cmd_plan(job_operand(argc, argv), spec, cf, sink);
+  sink.flush();
+  return rc;
+}
+
+int sub_run(int argc, char** argv) {
+  using namespace ds;
+  const auto spec =
+      cluster_for(cli::flag(argc, argv, "--cluster", "prototype"));
+  const cli::CommonFlags cf = cli::parse_common_flags(argc, argv);
+  // `run --report-out` derives its analytics from engine spans, so it needs
+  // a live tracer even without --trace-out.
+  cli::ObsSink sink(cf, /*force_trace=*/!cf.report_out.empty());
+  const std::string strategy =
+      cli::flag(argc, argv, "--strategy", "DelayStage");
+  engine::RunOptions opt;
+  opt.task_failure_rate = cli::num_flag(argc, argv, "--fail-rate", 0);
+  opt.max_attempts =
+      static_cast<int>(cli::int_flag(argc, argv, "--max-attempts", 4));
+  sim::FaultPlan faults;
+  for (const auto& c : cli::flags(argc, argv, "--crash"))
+    faults.crashes.push_back(parse_crash(c));
+  faults.crash_rate = cli::num_flag(argc, argv, "--crash-rate", 0);
+  faults.crash_horizon = cli::num_flag(argc, argv, "--horizon", 0);
+  faults.mean_downtime = cli::num_flag(argc, argv, "--mean-downtime", -1);
+  const int rc = cmd_run(job_operand(argc, argv), spec, strategy, cf.seed,
+                         opt, cf.quantile,
+                         cli::has_flag(argc, argv, "--replan"), faults,
+                         cf.report_out, sink);
+  sink.flush();
+  return rc;
+}
+
+int sub_report(int argc, char** argv) {
+  using namespace ds;
+  const auto spec =
+      cluster_for(cli::flag(argc, argv, "--cluster", "prototype"));
+  const cli::CommonFlags cf = cli::parse_common_flags(argc, argv);
+  cli::ObsSink sink(cf, /*force_trace=*/true);  // analytics need spans
+  const int rc = cmd_report(job_operand(argc, argv), spec, cf, cf.report_out,
+                            cli::has_flag(argc, argv, "--strict"), sink);
+  sink.flush();
+  return rc;
+}
+
+int sub_serve(int argc, char** argv) {
+  using namespace ds;
+  // Daemon mode takes no job spec: jobs arrive inside the requests.
+  const auto spec =
+      cluster_for(cli::flag(argc, argv, "--cluster", "prototype"));
+  const cli::CommonFlags cf = cli::parse_common_flags(argc, argv);
+  cli::ObsSink sink(cf);
+  const int rc = cmd_serve(argc, argv, spec, cf, sink);
+  sink.flush();
+  return rc;
+}
+
+int sub_sched(int argc, char** argv) {
+  using namespace ds;
+  const auto spec =
+      cluster_for(cli::flag(argc, argv, "--cluster", "prototype"));
+  const cli::CommonFlags cf = cli::parse_common_flags(argc, argv);
+  cli::ObsSink sink(cf);
+  const int rc = cmd_sched(argc, argv, spec, cf, sink);
+  sink.flush();
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::cerr
-        << "usage: delaystage_cli plan|run|report|serve|demo [job.spec] "
-           "[flags]\n";
-    return 2;
-  }
-  const std::string cmd = argv[1];
-  if (cmd == "demo") {
-    std::cout << kDemoSpec;
-    return 0;
-  }
   try {
     using namespace ds;
-    const auto spec =
-        cluster_for(cli::flag(argc, argv, "--cluster", "prototype"));
-    const cli::CommonFlags cf = cli::parse_common_flags(argc, argv);
-    // `report` derives its analytics from engine spans, so it always needs a
-    // live tracer; `run --report-out` likewise.
-    const bool force_trace =
-        cmd == "report" || (cmd == "run" && !cf.report_out.empty());
-    cli::ObsSink sink(cf, force_trace);
-    const double quantile = cli::num_flag(argc, argv, "--quantile", 0);
-    if (cmd == "serve") {
-      // Daemon mode takes no job spec: jobs arrive inside the requests.
-      const int rc = cmd_serve(argc, argv, spec, cf, quantile, sink);
-      sink.flush();
-      return rc;
-    }
-    const dag::JobDag job = argc > 2 && argv[2][0] != '-'
-                                ? dag::load_job_spec_file(argv[2])
-                                : dag::load_job_spec_text(kDemoSpec);
-    int rc = 2;
-    if (cmd == "plan") {
-      rc = cmd_plan(job, spec, cf, quantile, sink);
-    } else if (cmd == "report") {
-      rc = cmd_report(job, spec, cf, quantile, cf.report_out,
-                      cli::has_flag(argc, argv, "--strict"), sink);
-    } else if (cmd == "run") {
-      const std::string strategy =
-          cli::flag(argc, argv, "--strategy", "DelayStage");
-      engine::RunOptions opt;
-      opt.task_failure_rate = cli::num_flag(argc, argv, "--fail-rate", 0);
-      opt.max_attempts =
-          static_cast<int>(cli::int_flag(argc, argv, "--max-attempts", 4));
-      sim::FaultPlan faults;
-      for (const auto& c : cli::flags(argc, argv, "--crash"))
-        faults.crashes.push_back(parse_crash(c));
-      faults.crash_rate = cli::num_flag(argc, argv, "--crash-rate", 0);
-      faults.crash_horizon = cli::num_flag(argc, argv, "--horizon", 0);
-      faults.mean_downtime = cli::num_flag(argc, argv, "--mean-downtime", -1);
-      rc = cmd_run(job, spec, strategy, cf.seed, opt, quantile,
-                   cli::has_flag(argc, argv, "--replan"), faults,
-                   cf.report_out, sink);
-    } else {
-      std::cerr << "unknown command '" << cmd << "'\n";
-      return 2;
-    }
-    sink.flush();
-    return rc;
+    return cli::dispatch(argc, argv,
+                         {cli::std_subcommand("plan", sub_plan),
+                          cli::std_subcommand("run", sub_run),
+                          cli::std_subcommand("report", sub_report),
+                          cli::std_subcommand("serve", sub_serve),
+                          cli::std_subcommand("sched", sub_sched),
+                          cli::std_subcommand("demo", sub_demo)});
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

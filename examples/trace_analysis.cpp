@@ -1,8 +1,12 @@
 // Trace analysis: parse an Alibaba batch_task CSV (or fall back to the
 // synthetic trace) and print the §2.1 parallel-stage statistics plus a
-// small cluster replay comparing Fuxi with DelayStage.
+// small cluster replay comparing Fuxi with DelayStage. Subcommands come
+// from the shared registry in cli_flags.h (delaystage_cli uses the same
+// one); `trace` is the default, so the historical bare invocation keeps
+// working:
 //
-//   ./trace_analysis [batch_task.csv] [--threads N]   # 0 = hw concurrency
+//   ./trace_analysis [trace] [batch_task.csv]
+//                    [--threads N]                    # 0 = hw concurrency
 //                    [--seed N]                       # replay seed
 //                    [--adaptive]                     # calibrating replay
 //                    [--perturb-network F] [--perturb-compute F]
@@ -33,103 +37,116 @@
 #include "trace/synthetic.h"
 #include "util/table.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int cmd_trace(int argc, char** argv) {
   using namespace ds;
+  const cli::CommonFlags cf = cli::parse_common_flags(argc, argv, 7);
+  cli::ObsSink sink(cf);
+  const bool adaptive = cli::has_flag(argc, argv, "--adaptive");
+  const double perturb_network =
+      cli::num_flag(argc, argv, "--perturb-network", 1.0);
+  const double perturb_compute =
+      cli::num_flag(argc, argv, "--perturb-compute", 1.0);
+  const char* trace_file = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "trace") == 0 && trace_file == nullptr)
+      continue;  // the (optional) subcommand name, not an operand
+    if (std::strcmp(argv[i], "--adaptive") == 0) continue;  // valueless
+    if (argv[i][0] == '-') {
+      ++i;  // every other flag takes a value
+      continue;
+    }
+    trace_file = argv[i];
+  }
 
+  std::vector<trace::TraceJob> jobs;
+  if (trace_file != nullptr) {
+    trace::AlibabaParseStats pstats;
+    jobs = trace::parse_batch_task_file(trace_file, &pstats);
+    std::cout << "parsed " << pstats.rows << " rows -> " << jobs.size()
+              << " usable jobs (" << pstats.dropped_jobs << " dropped, "
+              << pstats.bad_rows << " malformed rows)\n\n";
+  } else {
+    std::cout << "no trace file given; generating a synthetic trace\n\n";
+    trace::SyntheticTraceOptions opt;
+    opt.num_jobs = 2000;
+    opt.seed = 1;  // the generator seed is fixed; --seed varies the replay
+    jobs = trace::synthetic_trace(opt);
+  }
+  if (jobs.empty()) {
+    std::cerr << "no jobs to analyse\n";
+    return 1;
+  }
+
+  const trace::TraceStats st = trace::analyze(jobs);
+  std::cout << "jobs:                        " << st.total_jobs << '\n'
+            << "stages:                      " << st.total_stages << '\n'
+            << "jobs with parallel stages:   "
+            << fmt(100.0 * st.parallel_job_fraction(), 1) << " %\n"
+            << "parallel stages overall:     "
+            << fmt(100.0 * st.parallel_stage_fraction(), 1) << " %\n"
+            << "median stages per job:       "
+            << fmt(st.stages_per_job.percentile(50), 1) << '\n';
+  if (!st.parallel_makespan_share.empty()) {
+    std::cout << "mean parallel makespan share: "
+              << fmt(st.parallel_makespan_share.mean(), 1) << " %\n";
+  }
+
+  // Replay a sample under both schedulers, aggregating fleet analytics
+  // (per-job and per-strategy) as we go.
+  std::vector<trace::TraceJob> sample(
+      jobs.begin(), jobs.begin() + std::min<std::size_t>(jobs.size(), 300));
+  obs::analytics::FleetReport fleet;
+  fleet.trace = trace_file != nullptr ? trace_file : "synthetic";
+  std::vector<std::string> cols = {"strategy", "mean JCT (s)", "CPU util %",
+                                   "net util %"};
+  if (adaptive) cols.push_back("mean engine JCT (s)");
+  TablePrinter t(cols);
+  t.set_precision(1);
+  for (const char* strategy : {"Fuxi", "DelayStage"}) {
+    trace::ReplayOptions opt;
+    opt.strategy = strategy;
+    opt.cluster.num_workers = 400;
+    cf.apply(opt);
+    opt.obs = sink.get();
+    opt.adaptive = adaptive;
+    opt.perturb_network = perturb_network;
+    opt.perturb_compute = perturb_compute;
+    if (const Status st = trace::validate(opt); !st.is_ok())
+      throw std::runtime_error(st.message());
+    const trace::ReplayResult r = trace::replay(sample, opt);
+    std::vector<TablePrinter::Cell> row = {std::string(strategy),
+                                           r.mean_jct(), r.mean_cpu_util(),
+                                           r.mean_net_util()};
+    if (adaptive) {
+      double engine_sum = 0;
+      for (const auto& j : r.jobs) engine_sum += j.engine_jct;
+      row.push_back(engine_sum / static_cast<double>(r.jobs.size()));
+    }
+    t.add_row(std::move(row));
+    fleet.strategies.push_back(obs::analytics::fleet_strategy_report(
+        strategy, r, /*keep_jobs=*/!cf.report_out.empty()));
+  }
+  std::cout << '\n';
+  t.print(std::cout);
+  if (!cf.report_out.empty() &&
+      obs::analytics::write_report_file(cf.report_out, fleet))
+    std::cout << "# fleet analytics report written to " << cf.report_out
+              << '\n';
+  sink.flush();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   try {
-    const cli::CommonFlags cf = cli::parse_common_flags(argc, argv, 7);
-    cli::ObsSink sink(cf);
-    const bool adaptive = cli::has_flag(argc, argv, "--adaptive");
-    const double perturb_network =
-        cli::num_flag(argc, argv, "--perturb-network", 1.0);
-    const double perturb_compute =
-        cli::num_flag(argc, argv, "--perturb-compute", 1.0);
-    const char* trace_file = nullptr;
-    for (int i = 1; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--adaptive") == 0) continue;  // valueless
-      if (argv[i][0] == '-') {
-        ++i;  // every other flag takes a value
-        continue;
-      }
-      trace_file = argv[i];
-    }
-
-    std::vector<trace::TraceJob> jobs;
-    if (trace_file != nullptr) {
-      trace::AlibabaParseStats pstats;
-      jobs = trace::parse_batch_task_file(trace_file, &pstats);
-      std::cout << "parsed " << pstats.rows << " rows -> " << jobs.size()
-                << " usable jobs (" << pstats.dropped_jobs << " dropped, "
-                << pstats.bad_rows << " malformed rows)\n\n";
-    } else {
-      std::cout << "no trace file given; generating a synthetic trace\n\n";
-      trace::SyntheticTraceOptions opt;
-      opt.num_jobs = 2000;
-      opt.seed = 1;  // the generator seed is fixed; --seed varies the replay
-      jobs = trace::synthetic_trace(opt);
-    }
-    if (jobs.empty()) {
-      std::cerr << "no jobs to analyse\n";
-      return 1;
-    }
-
-    const trace::TraceStats st = trace::analyze(jobs);
-    std::cout << "jobs:                        " << st.total_jobs << '\n'
-              << "stages:                      " << st.total_stages << '\n'
-              << "jobs with parallel stages:   "
-              << fmt(100.0 * st.parallel_job_fraction(), 1) << " %\n"
-              << "parallel stages overall:     "
-              << fmt(100.0 * st.parallel_stage_fraction(), 1) << " %\n"
-              << "median stages per job:       "
-              << fmt(st.stages_per_job.percentile(50), 1) << '\n';
-    if (!st.parallel_makespan_share.empty()) {
-      std::cout << "mean parallel makespan share: "
-                << fmt(st.parallel_makespan_share.mean(), 1) << " %\n";
-    }
-
-    // Replay a sample under both schedulers, aggregating fleet analytics
-    // (per-job and per-strategy) as we go.
-    std::vector<trace::TraceJob> sample(
-        jobs.begin(), jobs.begin() + std::min<std::size_t>(jobs.size(), 300));
-    obs::analytics::FleetReport fleet;
-    fleet.trace = trace_file != nullptr ? trace_file : "synthetic";
-    std::vector<std::string> cols = {"strategy", "mean JCT (s)", "CPU util %",
-                                     "net util %"};
-    if (adaptive) cols.push_back("mean engine JCT (s)");
-    TablePrinter t(cols);
-    t.set_precision(1);
-    for (const char* strategy : {"Fuxi", "DelayStage"}) {
-      trace::ReplayOptions opt;
-      opt.strategy = strategy;
-      opt.cluster.num_workers = 400;
-      cf.apply(opt);
-      opt.obs = sink.get();
-      opt.adaptive = adaptive;
-      opt.perturb_network = perturb_network;
-      opt.perturb_compute = perturb_compute;
-      if (const Status st = trace::validate(opt); !st.is_ok())
-        throw std::runtime_error(st.message());
-      const trace::ReplayResult r = trace::replay(sample, opt);
-      std::vector<TablePrinter::Cell> row = {std::string(strategy),
-                                             r.mean_jct(), r.mean_cpu_util(),
-                                             r.mean_net_util()};
-      if (adaptive) {
-        double engine_sum = 0;
-        for (const auto& j : r.jobs) engine_sum += j.engine_jct;
-        row.push_back(engine_sum / static_cast<double>(r.jobs.size()));
-      }
-      t.add_row(std::move(row));
-      fleet.strategies.push_back(obs::analytics::fleet_strategy_report(
-          strategy, r, /*keep_jobs=*/!cf.report_out.empty()));
-    }
-    std::cout << '\n';
-    t.print(std::cout);
-    if (!cf.report_out.empty() &&
-        obs::analytics::write_report_file(cf.report_out, fleet))
-      std::cout << "# fleet analytics report written to " << cf.report_out
-                << '\n';
-    sink.flush();
-    return 0;
+    using namespace ds;
+    // `trace` is the default command: `./trace_analysis batch_task.csv`
+    // (and the bare invocation) behave exactly as before the registry.
+    return cli::dispatch(argc, argv, {cli::std_subcommand("trace", cmd_trace)},
+                         /*default_cmd=*/"trace");
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

@@ -876,6 +876,13 @@ void JobRun::fail_job(const std::string& reason) {
     cluster_.sim().cancel(occupancy_event_);
     occupancy_event_ = sim::kInvalidEvent;
   }
+  notify_finished();
+}
+
+void JobRun::notify_finished() {
+  if (finish_notified_ || !result_.finished()) return;
+  finish_notified_ = true;
+  if (opt_.on_finished) opt_.on_finished(result_);
 }
 
 void JobRun::finish_stage(dag::StageId s) {
@@ -925,6 +932,7 @@ void JobRun::finish_stage(dag::StageId s) {
       cluster_.sim().cancel(occupancy_event_);
       occupancy_event_ = sim::kInvalidEvent;
     }
+    notify_finished();
   }
 }
 

@@ -50,6 +50,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -116,6 +117,13 @@ struct RunOptions : CommonOptions {
   // entry. Empty (or a missing/non-positive entry) disables the drift
   // trigger for that stage; crash triggers work regardless.
   std::vector<Seconds> predicted_durations;
+  // Terminal-state hook: invoked exactly once, at the sim time the run
+  // reaches a terminal state (result().complete() or result().failed), with
+  // the finalised result. This is how a host scheduling many concurrent runs
+  // on one simulator (ds::Scheduler) reacts to completions without polling.
+  // The callback may start new runs / schedule new events; it must not
+  // destroy this JobRun while the engine is still on the stack.
+  std::function<void(const JobResult&)> on_finished;
 };
 
 class JobRun {
@@ -243,6 +251,8 @@ class JobRun {
   void demand_parents(dag::StageId s);
   void on_node_crashed(sim::NodeId w);
   void fail_job(const std::string& reason);
+  // Fire opt_.on_finished exactly once, after result_ is terminal.
+  void notify_finished();
 
   // --- mid-job replanning (no-op unless opt_.replan.enabled) ---
   // Evaluate the ReplanPolicy guards, snapshot live state, invoke the
@@ -285,6 +295,7 @@ class JobRun {
   int stages_remaining_ = 0;
   bool started_ = false;
   bool failed_ = false;
+  bool finish_notified_ = false;
   int speculative_attempts_ = 0;
   Seconds last_replan_attempt_ = -1;  // cooldown anchor (sim time)
   std::vector<metrics::TimeSeries> occupancy_;

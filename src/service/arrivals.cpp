@@ -1,0 +1,61 @@
+#include "service/arrivals.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace ds::service {
+
+std::vector<Seconds> poisson_arrivals(std::size_t n, double rate,
+                                      std::uint64_t seed) {
+  DS_CHECK_MSG(rate > 0, "arrival rate must be positive");
+  Rng rng(seed);
+  std::vector<Seconds> out;
+  out.reserve(n);
+  Seconds t = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += rng.exponential(rate);
+    out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<Seconds> trace_arrivals(const std::vector<trace::TraceJob>& jobs,
+                                    std::size_t n) {
+  std::vector<Seconds> submits;
+  submits.reserve(jobs.size());
+  for (const auto& j : jobs) submits.push_back(j.submit_time);
+  std::sort(submits.begin(), submits.end());
+  DS_CHECK_MSG(!submits.empty(), "trace_arrivals needs at least one job");
+
+  // Gap sequence of the recorded trace; a single-job trace degenerates to
+  // simultaneous arrivals (gap 0).
+  std::vector<Seconds> gaps;
+  for (std::size_t i = 1; i < submits.size(); ++i)
+    gaps.push_back(submits[i] - submits[i - 1]);
+  if (gaps.empty()) gaps.push_back(0);
+
+  std::vector<Seconds> out;
+  out.reserve(n);
+  Seconds t = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(t);
+    t += gaps[i % gaps.size()];
+  }
+  return out;
+}
+
+void rescale_to_rate(std::vector<Seconds>& arrivals, double rate) {
+  DS_CHECK_MSG(rate > 0, "arrival rate must be positive");
+  if (arrivals.size() < 2) return;
+  const Seconds span = arrivals.back() - arrivals.front();
+  if (span <= 0) return;
+  const Seconds target_span =
+      static_cast<Seconds>(arrivals.size() - 1) / rate;
+  const double scale = target_span / span;
+  const Seconds base = arrivals.front();
+  for (Seconds& a : arrivals) a = (a - base) * scale;
+}
+
+}  // namespace ds::service

@@ -1,0 +1,32 @@
+#include "service/ledger.h"
+
+namespace ds::service {
+
+void ClusterLedger::commit(JobId job, const Grant& g) {
+  DS_CHECK_MSG(g.slots > 0, "grant must hold at least one slot");
+  DS_CHECK_MSG(g.bandwidth >= 0, "negative bandwidth grant");
+  DS_CHECK_MSG(grants_.find(job) == grants_.end(),
+               "job " << job << " already holds a grant");
+  DS_CHECK_MSG(fits(g), "over-commit: " << g.slots << " slots / "
+                                        << g.bandwidth << " B/s requested, "
+                                        << free_slots() << " slots / "
+                                        << free_bandwidth() << " B/s free");
+  grants_.emplace(job, g);
+  committed_slots_ += g.slots;
+  committed_bw_ += g.bandwidth;
+  if (committed_bw_ > total_bw_) committed_bw_ = total_bw_;  // absorb fp dust
+  if (committed_slots_ > peak_slots_) peak_slots_ = committed_slots_;
+  if (committed_bw_ > peak_bw_) peak_bw_ = committed_bw_;
+}
+
+void ClusterLedger::release(JobId job) {
+  auto it = grants_.find(job);
+  DS_CHECK_MSG(it != grants_.end(), "release of unknown job " << job);
+  committed_slots_ -= it->second.slots;
+  committed_bw_ -= it->second.bandwidth;
+  if (committed_bw_ < 0) committed_bw_ = 0;  // fp dust from repeated releases
+  DS_CHECK(committed_slots_ >= 0);
+  grants_.erase(it);
+}
+
+}  // namespace ds::service

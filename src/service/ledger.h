@@ -1,0 +1,90 @@
+// ClusterLedger — live resource commitments of the multi-job scheduler.
+//
+// The ledger is the scheduler's single source of truth for "what is already
+// promised": every admitted job charges the executor slots and worker NIC
+// bandwidth it was granted, and releases them when it reaches a terminal
+// state. Admission control asks `fits()` before launching anything, and
+// `commit()` enforces the no-over-commit invariant with a DS_CHECK — the
+// scheduler can *never* promise more slots or bandwidth than the cluster
+// has, by construction rather than by convention.
+//
+// Commitments are admission-time grants (the planner's residual-capacity
+// view), not instantaneous usage: a job's tasks may momentarily hold fewer
+// slots than its grant while stages hand over, but the grant is what the
+// next job's plan must assume is gone. Peak trackers record the high-water
+// marks for the fleet report.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/units.h"
+
+namespace ds::service {
+
+using JobId = std::uint64_t;
+
+class ClusterLedger {
+ public:
+  struct Grant {
+    int slots = 0;
+    BytesPerSec bandwidth = 0;
+  };
+
+  ClusterLedger(int total_slots, BytesPerSec total_bandwidth)
+      : total_slots_(total_slots), total_bw_(total_bandwidth) {
+    DS_CHECK(total_slots_ > 0);
+    DS_CHECK(total_bw_ > 0);
+  }
+
+  // Would this grant fit in the remaining capacity? A small epsilon absorbs
+  // floating-point dust on the bandwidth side; slots are exact integers.
+  bool fits(const Grant& g) const {
+    return g.slots <= free_slots() &&
+           g.bandwidth <= free_bandwidth() + kBwEpsilon;
+  }
+
+  // Charge a grant to `job`. The job must not already hold a grant, and the
+  // grant must fit — admission control checks fits() first, so a violation
+  // here is a scheduler bug, not a load condition.
+  void commit(JobId job, const Grant& g);
+
+  // Return a job's grant to the pool. No-op for unknown ids (a job that was
+  // never admitted, or released twice, is a bug — checked).
+  void release(JobId job);
+
+  int total_slots() const { return total_slots_; }
+  BytesPerSec total_bandwidth() const { return total_bw_; }
+  int committed_slots() const { return committed_slots_; }
+  BytesPerSec committed_bandwidth() const { return committed_bw_; }
+  int free_slots() const { return total_slots_ - committed_slots_; }
+  BytesPerSec free_bandwidth() const { return total_bw_ - committed_bw_; }
+  std::size_t active_jobs() const { return grants_.size(); }
+  // Fraction of executor slots currently promised, in [0, 1].
+  double slot_occupancy() const {
+    return static_cast<double>(committed_slots_) / total_slots_;
+  }
+  double bandwidth_occupancy() const { return committed_bw_ / total_bw_; }
+  const Grant* grant(JobId job) const {
+    auto it = grants_.find(job);
+    return it == grants_.end() ? nullptr : &it->second;
+  }
+
+  // High-water marks since construction.
+  int peak_slots() const { return peak_slots_; }
+  BytesPerSec peak_bandwidth() const { return peak_bw_; }
+
+ private:
+  static constexpr BytesPerSec kBwEpsilon = 1e-6;
+
+  int total_slots_;
+  BytesPerSec total_bw_;
+  int committed_slots_ = 0;
+  BytesPerSec committed_bw_ = 0;
+  int peak_slots_ = 0;
+  BytesPerSec peak_bw_ = 0;
+  std::unordered_map<JobId, Grant> grants_;
+};
+
+}  // namespace ds::service

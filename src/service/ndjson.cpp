@@ -1,0 +1,89 @@
+#include "service/ndjson.h"
+
+#include <exception>
+#include <ostream>
+
+#include "core/plan_serialize.h"
+#include "dag/serialize.h"
+#include "util/json.h"
+#include "workloads/workloads.h"
+
+namespace ds::service {
+
+namespace {
+
+Status build_workload(const std::string& name, double scale,
+                      dag::JobDag* out) {
+  if (name == "als") {
+    *out = workloads::als(scale);
+  } else if (name == "connected_components") {
+    *out = workloads::connected_components(scale);
+  } else if (name == "cosine_similarity") {
+    *out = workloads::cosine_similarity(scale);
+  } else if (name == "lda") {
+    *out = workloads::lda(scale);
+  } else if (name == "triangle_count") {
+    *out = workloads::triangle_count(scale);
+  } else {
+    return Status::error(
+        "unknown workload \"" + name +
+        "\" (expected als, connected_components, cosine_similarity, lda or "
+        "triangle_count)");
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Status parse_sched_request(const std::string& line, SchedRequest* out) {
+  json::Value req;
+  if (const Status st = json::parse(line, &req); !st.is_ok()) return st;
+  if (!req.is_object())
+    return Status::error("request must be a JSON object");
+  if (const Status st = core::check_ndjson_version(req); !st.is_ok())
+    return st;
+
+  SchedRequest r;
+  const json::Value* workload = req.find("workload");
+  const json::Value* spec = req.find("spec");
+  if ((workload != nullptr) == (spec != nullptr))
+    return Status::error(
+        "request needs exactly one of \"workload\" or \"spec\"");
+  if (workload != nullptr) {
+    double scale = 1.0;
+    if (const json::Value* v = req.find("scale"); v != nullptr)
+      scale = v->num_or(scale);
+    if (scale <= 0) return Status::error("\"scale\" must be positive");
+    if (const Status st =
+            build_workload(workload->str_or(""), scale, &r.dag);
+        !st.is_ok())
+      return st;
+  } else {
+    try {
+      r.dag = dag::load_job_spec_text(spec->str_or(""));
+    } catch (const std::exception& e) {
+      return Status::error(e.what());
+    }
+  }
+  if (const json::Value* v = req.find("arrival"); v != nullptr)
+    r.arrival = v->num_or(-1);
+  if (const json::Value* v = req.find("priority"); v != nullptr)
+    r.priority = static_cast<int>(v->int_or(0));
+  *out = std::move(r);
+  return Status::ok();
+}
+
+void write_job_status(std::ostream& os, const JobStatus& status) {
+  os.precision(12);
+  os << "{\"v\": " << core::kNdjsonProtocolVersion
+     << ", \"id\": " << status.id << ", \"name\": ";
+  json::write_string(os, status.name);
+  os << ", \"state\": \"" << to_string(status.state)
+     << "\", \"priority\": " << status.priority
+     << ", \"arrival\": " << status.arrival << ", \"wait\": " << status.wait
+     << ", \"jct\": " << status.jct << ", \"slowdown\": " << status.slowdown
+     << ", \"planned_delay\": " << status.planned_delay << ", \"cache\": \""
+     << (status.plan_cache_hit ? "hit" : "miss") << "\"}\n";
+}
+
+}  // namespace ds::service

@@ -1,0 +1,41 @@
+// NDJSON job-submission protocol for `delaystage_cli sched --jobs-in`
+// (version 1 — the shared protocol rules, version field semantics and
+// unknown-field tolerance are documented in core/plan_serialize.h next to
+// the plan JSON).
+//
+// One request per line:
+//   {"v": 1, "workload": "lda", "scale": 1.0, "arrival": 12.5, "priority": 0}
+//   {"v": 1, "spec": "<job-spec text>", "arrival": 30}
+// Exactly one of "workload" (a built-in benchmark name: als,
+// connected_components, cosine_similarity, lda, triangle_count) or "spec"
+// (inline dag/serialize job-spec text) selects the job. "arrival" is the
+// absolute submit time in seconds (absent/negative = back-to-back with the
+// previous job), "priority" the class (lower = more important).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dag/job.h"
+#include "service/scheduler.h"
+#include "util/status.h"
+#include "util/units.h"
+
+namespace ds::service {
+
+struct SchedRequest {
+  dag::JobDag dag;
+  Seconds arrival = -1;  // < 0: caller decides (arrive immediately)
+  int priority = 0;
+};
+
+// Parses one submission line (version check included). `out` is only
+// modified on success; unknown fields are ignored.
+Status parse_sched_request(const std::string& line, SchedRequest* out);
+
+// One completed job as an NDJSON response line ({"v": 1, "id": …, "name",
+// "state", "arrival", "wait", "jct", "slowdown", "planned_delay",
+// "cache": "hit"|"miss"}).
+void write_job_status(std::ostream& os, const JobStatus& status);
+
+}  // namespace ds::service

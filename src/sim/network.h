@@ -104,6 +104,14 @@ class NetworkFabric {
   int num_nodes() const { return static_cast<int>(nic_bw_.size()); }
   std::size_t active_flows() const { return num_active_; }
   BytesPerSec nic_bw(NodeId n) const { return nic_bw_.at(static_cast<std::size_t>(n)); }
+  // Sum of provisioned access-link bandwidth across all nodes — the fabric's
+  // aggregate capacity, used by capacity ledgers (ds::service::ClusterLedger)
+  // as the bandwidth budget against which job commitments are charged.
+  BytesPerSec total_nic_bw() const {
+    BytesPerSec total = 0.0;
+    for (BytesPerSec bw : nic_bw_) total += bw;
+    return total;
+  }
 
   // Scale node n's access link (egress + ingress) to `factor` × its
   // provisioned bandwidth — the FaultInjector's degradation windows. Active

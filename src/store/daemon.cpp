@@ -41,10 +41,16 @@ void write_id(std::ostream& os, const json::Value* id) {
   }
 }
 
+// Every response line leads with the protocol version (see the NDJSON
+// protocol notes in core/plan_serialize.h).
+void open_response(std::ostream& os, const json::Value* id) {
+  os << "{\"v\": " << core::kNdjsonProtocolVersion << ", \"id\": ";
+  write_id(os, id);
+}
+
 std::string error_response(const json::Value* id, const std::string& message) {
   std::ostringstream os;
-  os << "{\"id\": ";
-  write_id(os, id);
+  open_response(os, id);
   os << ", \"error\": ";
   json::write_string(os, message);
   os << "}";
@@ -75,14 +81,15 @@ std::string PlanDaemon::handle_line(const std::string& line, bool* is_error) {
   if (!req.is_object())
     return error_response(nullptr, "request must be a JSON object");
   const json::Value* id = req.find("id");
+  if (const Status st = core::check_ndjson_version(req); !st.is_ok())
+    return error_response(id, st.message());
 
   if (const json::Value* cmd = req.find("cmd"); cmd != nullptr) {
     const std::string& name = cmd->str_or("");
     if (name == "save") {
       const Status st = service_.save();
       std::ostringstream os;
-      os << "{\"id\": ";
-      write_id(os, id);
+      open_response(os, id);
       if (st.is_ok()) {
         os << ", \"ok\": true, \"workloads\": "
            << service_.profiles().workloads() << "}";
@@ -94,8 +101,7 @@ std::string PlanDaemon::handle_line(const std::string& line, bool* is_error) {
     if (name == "stats") {
       const PlanCache& c = service_.cache();
       std::ostringstream os;
-      os << "{\"id\": ";
-      write_id(os, id);
+      open_response(os, id);
       os << ", \"cache\": {\"size\": " << service_.cache().size()
          << ", \"hits\": " << c.hits() << ", \"misses\": " << c.misses()
          << ", \"evictions\": " << c.evictions() << ", \"stale\": " << c.stale()
@@ -141,8 +147,7 @@ std::string PlanDaemon::handle_line(const std::string& line, bool* is_error) {
     const PlanService::Planned planned = service_.plan(job, profile, copt);
 
     std::ostringstream os;
-    os << "{\"id\": ";
-    write_id(os, id);
+    open_response(os, id);
     os << ", \"cache\": \"" << (planned.cache_hit ? "hit" : "miss")
        << "\", \"signature\": \"" << planned.signature
        << "\", \"epoch\": " << planned.epoch << ", \"plan\": ";

@@ -125,7 +125,9 @@ ReplayResult replay(const std::vector<TraceJob>& jobs,
                     const ReplayOptions& options);
 
 // Back-compat spelling from before seeds lived in CommonOptions: the trailing
-// seed overrides options.seed.
+// seed overrides options.seed. Deprecated for one release (set options.seed
+// and call the CommonOptions-only overload); no in-repo caller remains.
+[[deprecated("set ReplayOptions::seed and call replay(jobs, options)")]]
 inline ReplayResult replay(const std::vector<TraceJob>& jobs,
                            ReplayOptions options, std::uint64_t seed) {
   options.seed = seed;

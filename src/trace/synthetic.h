@@ -41,7 +41,10 @@ struct SyntheticTraceOptions : CommonOptions {
 std::vector<TraceJob> synthetic_trace(const SyntheticTraceOptions& opt);
 
 // Back-compat spelling from before seeds lived in CommonOptions: the trailing
-// seed overrides opt.seed.
+// seed overrides opt.seed. Deprecated for one release (set opt.seed and call
+// the CommonOptions-only overload); no in-repo caller remains.
+[[deprecated(
+    "set SyntheticTraceOptions::seed and call synthetic_trace(opt)")]]
 inline std::vector<TraceJob> synthetic_trace(SyntheticTraceOptions opt,
                                              std::uint64_t seed) {
   opt.seed = seed;

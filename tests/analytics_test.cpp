@@ -279,12 +279,14 @@ TEST(EndToEnd, EngineRunYieldsDriftAndInterleavingReports) {
 TEST(Fleet, AggregationMatchesReplayResult) {
   trace::SyntheticTraceOptions topt;
   topt.num_jobs = 60;
-  const auto jobs = trace::synthetic_trace(topt, 5);
+  topt.seed = 5;
+  const auto jobs = trace::synthetic_trace(topt);
 
   trace::ReplayOptions opt;
   opt.strategy = "DelayStage";
   opt.cluster.num_workers = 40;
-  const trace::ReplayResult r = trace::replay(jobs, opt, 7);
+  opt.seed = 7;
+  const trace::ReplayResult r = trace::replay(jobs, opt);
   const obs::analytics::FleetUtilization f =
       obs::analytics::fleet_utilization(r);
   EXPECT_EQ(f.jobs, r.jobs.size());
@@ -302,7 +304,7 @@ TEST(Fleet, AggregationMatchesReplayResult) {
   trace::ReplayOptions fuxi = opt;
   fuxi.strategy = "Fuxi";
   const obs::analytics::FleetUtilization f0 =
-      obs::analytics::fleet_utilization(trace::replay(jobs, fuxi, 7));
+      obs::analytics::fleet_utilization(trace::replay(jobs, fuxi));
   EXPECT_DOUBLE_EQ(f0.mean_planned_delay_s, 0.0);
 }
 

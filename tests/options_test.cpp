@@ -1,6 +1,8 @@
 // ds::CommonOptions: the one place 0-means-auto thread counts are resolved,
-// plus the back-compat option spellings (inherited threads/seed fields and
-// the legacy trailing-seed overloads).
+// plus the back-compat option spellings (inherited threads/seed fields). The
+// legacy trailing-seed overloads are [[deprecated]] and no longer called
+// anywhere in the repo — the tests below pin the CommonOptions-only
+// signatures they collapsed into.
 #include <gtest/gtest.h>
 
 #include <thread>
@@ -47,24 +49,24 @@ TEST(CommonOptions, DerivedStructsInheritTheSharedFields) {
   EXPECT_EQ(topt.common().seed, 77u);
 }
 
-TEST(CommonOptions, SyntheticTraceLegacySeedOverloadMatches) {
+TEST(CommonOptions, SyntheticTraceSeedLivesInOptions) {
   trace::SyntheticTraceOptions opt;
   opt.num_jobs = 50;
   opt.seed = 123;
-  const auto via_options = trace::synthetic_trace(opt);
-  const auto via_legacy = trace::synthetic_trace(opt, 123);
-  ASSERT_EQ(via_options.size(), via_legacy.size());
-  for (std::size_t i = 0; i < via_options.size(); ++i) {
-    EXPECT_EQ(via_options[i].submit_time, via_legacy[i].submit_time);
-    ASSERT_EQ(via_options[i].stages.size(), via_legacy[i].stages.size());
+  const auto a = trace::synthetic_trace(opt);
+  const auto b = trace::synthetic_trace(opt);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].submit_time, b[i].submit_time);
+    ASSERT_EQ(a[i].stages.size(), b[i].stages.size());
   }
-  // And the trailing seed must win over whatever the struct carries.
+  // A different seed in the options struct must change the draw.
   opt.seed = 1;
-  const auto overridden = trace::synthetic_trace(opt, 123);
-  EXPECT_EQ(overridden[0].submit_time, via_options[0].submit_time);
+  const auto other = trace::synthetic_trace(opt);
+  EXPECT_NE(other[0].submit_time, a[0].submit_time);
 }
 
-TEST(CommonOptions, ReplayLegacySeedOverloadMatches) {
+TEST(CommonOptions, ReplaySeedLivesInOptions) {
   trace::SyntheticTraceOptions topt;
   topt.num_jobs = 30;
   topt.seed = 5;
@@ -72,10 +74,10 @@ TEST(CommonOptions, ReplayLegacySeedOverloadMatches) {
   trace::ReplayOptions ropt;
   ropt.cluster.num_workers = 20;
   ropt.seed = 11;
-  const auto via_options = trace::replay(jobs, ropt);
-  const auto via_legacy = trace::replay(jobs, ropt, 11);
-  EXPECT_EQ(via_options.mean_jct(), via_legacy.mean_jct());
-  EXPECT_EQ(via_options.mean_cpu_util(), via_legacy.mean_cpu_util());
+  const auto a = trace::replay(jobs, ropt);
+  const auto b = trace::replay(jobs, ropt);
+  EXPECT_EQ(a.mean_jct(), b.mean_jct());
+  EXPECT_EQ(a.mean_cpu_util(), b.mean_cpu_util());
 }
 
 TEST(CommonOptions, PlannerAutoThreadsMatchesSingleThread) {

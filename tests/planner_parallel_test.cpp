@@ -70,14 +70,16 @@ TEST(PlannerParallel, ComputeIsBitIdenticalAcrossThreadCounts) {
 TEST(PlannerParallel, ReplayIsBitIdenticalAcrossThreadCounts) {
   trace::SyntheticTraceOptions topt;
   topt.num_jobs = 40;
-  const auto jobs = trace::synthetic_trace(topt, 11);
+  topt.seed = 11;
+  const auto jobs = trace::synthetic_trace(topt);
   trace::ReplayOptions ropt;
   ropt.strategy = "DelayStage";
   ropt.cluster.num_workers = 40;
+  ropt.seed = 3;
   ropt.threads = 1;
-  const trace::ReplayResult a = trace::replay(jobs, ropt, 3);
+  const trace::ReplayResult a = trace::replay(jobs, ropt);
   ropt.threads = 8;
-  const trace::ReplayResult b = trace::replay(jobs, ropt, 3);
+  const trace::ReplayResult b = trace::replay(jobs, ropt);
   ASSERT_EQ(a.jobs.size(), b.jobs.size());
   for (std::size_t i = 0; i < a.jobs.size(); ++i) {
     EXPECT_EQ(a.jobs[i].finish, b.jobs[i].finish) << "job " << i;

@@ -25,7 +25,8 @@ TraceJob simple_job(Seconds submit, Seconds compute = 100) {
 
 TEST(Replay, LoneJobRunsAtDedicatedSpeed) {
   ReplayOptions opt;
-  const ReplayResult r = replay({simple_job(0)}, opt, 1);
+  opt.seed = 1;
+  const ReplayResult r = replay({simple_job(0)}, opt);
   ASSERT_EQ(r.jobs.size(), 1u);
   EXPECT_NEAR(r.jobs[0].jct, r.jobs[0].dedicated_time, 1e-6);
   EXPECT_GT(r.jobs[0].dedicated_time, 200.0);  // two stages of ~125 s
@@ -42,7 +43,9 @@ ReplayOptions tiny_cluster() {
 
 TEST(Replay, OverlappingJobsDilateEachOtherWhenSaturated) {
   const auto jobs = std::vector<TraceJob>{simple_job(0), simple_job(0)};
-  const ReplayResult r = replay(jobs, tiny_cluster(), 1);
+  ReplayOptions opt = tiny_cluster();
+  opt.seed = 1;
+  const ReplayResult r = replay(jobs, opt);
   // Two identical jobs saturating the cluster: both dilate noticeably and
   // never beat their dedicated times.
   for (const auto& j : r.jobs) {
@@ -56,21 +59,25 @@ TEST(Replay, UnderloadedClusterDoesNotDilate) {
   // The default 4000-machine cluster barely notices two small jobs.
   const auto jobs = std::vector<TraceJob>{simple_job(0), simple_job(0)};
   ReplayOptions opt;
-  const ReplayResult r = replay(jobs, opt, 1);
+  opt.seed = 1;
+  const ReplayResult r = replay(jobs, opt);
   for (const auto& j : r.jobs) EXPECT_NEAR(j.jct, j.dedicated_time, 1e-3);
 }
 
 TEST(Replay, DisjointJobsDoNotInterfere) {
   const auto jobs = std::vector<TraceJob>{simple_job(0), simple_job(5000)};
   ReplayOptions opt;
-  const ReplayResult r = replay(jobs, opt, 1);
+  opt.seed = 1;
+  const ReplayResult r = replay(jobs, opt);
   for (const auto& j : r.jobs) EXPECT_NEAR(j.jct, j.dedicated_time, 1e-6);
 }
 
 TEST(Replay, PartialOverlapDilatesOnlyTheSharedWindow) {
   // Job B arrives partway through job A's run on a saturated cluster.
   const auto jobs = std::vector<TraceJob>{simple_job(0), simple_job(125)};
-  const ReplayResult r = replay(jobs, tiny_cluster(), 1);
+  ReplayOptions opt = tiny_cluster();
+  opt.seed = 1;
+  const ReplayResult r = replay(jobs, opt);
   const double rd = r.jobs[0].dedicated_time;
   ASSERT_GT(rd, 125.0);
   // A runs solo for 125 s, then shares: somewhere between no dilation and
@@ -83,9 +90,11 @@ TEST(Replay, UtilizationSeriesBounded) {
   SyntheticTraceOptions sopt;
   sopt.num_jobs = 80;
   sopt.horizon = 24 * 3600;
-  const auto jobs = synthetic_trace(sopt, 11);
+  sopt.seed = 11;
+  const auto jobs = synthetic_trace(sopt);
   ReplayOptions opt;
-  const ReplayResult r = replay(jobs, opt, 2);
+  opt.seed = 2;
+  const ReplayResult r = replay(jobs, opt);
   for (const auto& ts : {&r.cluster_cpu, &r.cluster_net, &r.machine_cpu,
                          &r.machine_net}) {
     ASSERT_FALSE(ts->empty());
@@ -102,14 +111,17 @@ TEST(Replay, DelayStageReducesMeanJctVsFuxi) {
   SyntheticTraceOptions sopt;
   sopt.num_jobs = 60;
   sopt.horizon = 12 * 3600;
-  const auto jobs = synthetic_trace(sopt, 21);
+  sopt.seed = 21;
+  const auto jobs = synthetic_trace(sopt);
 
   ReplayOptions fuxi;
   fuxi.strategy = "Fuxi";
+  fuxi.seed = 3;
   ReplayOptions ds;
   ds.strategy = "DelayStage";
-  const double jct_fuxi = replay(jobs, fuxi, 3).mean_jct();
-  const double jct_ds = replay(jobs, ds, 3).mean_jct();
+  ds.seed = 3;
+  const double jct_fuxi = replay(jobs, fuxi).mean_jct();
+  const double jct_ds = replay(jobs, ds).mean_jct();
   EXPECT_LT(jct_ds, jct_fuxi);
 }
 
@@ -117,24 +129,29 @@ TEST(Replay, DelayStageRaisesUtilization) {
   SyntheticTraceOptions sopt;
   sopt.num_jobs = 60;
   sopt.horizon = 12 * 3600;
-  const auto jobs = synthetic_trace(sopt, 23);
+  sopt.seed = 23;
+  const auto jobs = synthetic_trace(sopt);
   ReplayOptions fuxi;
+  fuxi.seed = 3;
   ReplayOptions ds;
   ds.strategy = "DelayStage";
-  const ReplayResult rf = replay(jobs, fuxi, 3);
-  const ReplayResult rd = replay(jobs, ds, 3);
+  ds.seed = 3;
+  const ReplayResult rf = replay(jobs, fuxi);
+  const ReplayResult rd = replay(jobs, ds);
   EXPECT_GT(rd.mean_cpu_util(), rf.mean_cpu_util() * 0.95);
 }
 
 TEST(Replay, AllVariantsComplete) {
   SyntheticTraceOptions sopt;
   sopt.num_jobs = 30;
-  const auto jobs = synthetic_trace(sopt, 31);
+  sopt.seed = 31;
+  const auto jobs = synthetic_trace(sopt);
   for (const char* strat : {"Fuxi", "DelayStage", "random DelayStage",
                             "ascending DelayStage"}) {
     ReplayOptions opt;
     opt.strategy = strat;
-    const ReplayResult r = replay(jobs, opt, 4);
+    opt.seed = 4;
+    const ReplayResult r = replay(jobs, opt);
     EXPECT_EQ(r.jobs.size(), jobs.size()) << strat;
     EXPECT_GT(r.mean_jct(), 0) << strat;
   }

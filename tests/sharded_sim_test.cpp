@@ -192,7 +192,8 @@ TEST(ReplayEngineValidation, IdenticalAcrossShardCounts) {
   sopt.horizon = 4000;
   sopt.max_stages = 8;
   sopt.max_stage_time = 120;
-  const auto jobs = trace::synthetic_trace(sopt, /*seed=*/7);
+  sopt.seed = 7;
+  const auto jobs = trace::synthetic_trace(sopt);
   trace::ReplayOptions opt;
   opt.strategy = "DelayStage";
   opt.threads = 1;

@@ -123,8 +123,9 @@ TEST(AlibabaParser, CountsMalformedRows) {
 TEST(Synthetic, DeterministicForSeed) {
   SyntheticTraceOptions opt;
   opt.num_jobs = 50;
-  const auto a = synthetic_trace(opt, 9);
-  const auto b = synthetic_trace(opt, 9);
+  opt.seed = 9;
+  const auto a = synthetic_trace(opt);
+  const auto b = synthetic_trace(opt);
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].stages.size(), b[i].stages.size());
@@ -135,7 +136,8 @@ TEST(Synthetic, DeterministicForSeed) {
 TEST(Synthetic, MatchesPaperHeadlineStatistics) {
   SyntheticTraceOptions opt;
   opt.num_jobs = 2000;
-  const auto jobs = synthetic_trace(opt, 3);
+  opt.seed = 3;
+  const auto jobs = synthetic_trace(opt);
   const TraceStats st = analyze(jobs);
   // §2.1: 68.6% of jobs have parallel stages; parallel stages ≈79% of all
   // stages; 90% of jobs < 15 stages (Fig. 2); makespan share ≈82% (Fig. 3).
@@ -148,7 +150,8 @@ TEST(Synthetic, MatchesPaperHeadlineStatistics) {
 TEST(Synthetic, StageTimesWithinConfiguredRange) {
   SyntheticTraceOptions opt;
   opt.num_jobs = 100;
-  for (const auto& j : synthetic_trace(opt, 5)) {
+  opt.seed = 5;
+  for (const auto& j : synthetic_trace(opt)) {
     for (const auto& s : j.stages) {
       const Seconds d = s.read_solo + s.compute_solo + s.write_solo;
       EXPECT_GE(d, opt.min_stage_time - 1e-6);
@@ -163,7 +166,8 @@ TEST(Synthetic, StageTimesWithinConfiguredRange) {
 TEST(Synthetic, SubmissionsSorted) {
   SyntheticTraceOptions opt;
   opt.num_jobs = 200;
-  const auto jobs = synthetic_trace(opt, 1);
+  opt.seed = 1;
+  const auto jobs = synthetic_trace(opt);
   for (std::size_t i = 1; i < jobs.size(); ++i)
     EXPECT_GE(jobs[i].submit_time, jobs[i - 1].submit_time);
 }
@@ -208,7 +212,8 @@ TEST(Stats, DiamondJobSplitsMakespan) {
 TEST(AlibabaWriter, RoundTripsSyntheticTrace) {
   SyntheticTraceOptions opt;
   opt.num_jobs = 40;
-  const auto jobs = synthetic_trace(opt, 77);
+  opt.seed = 77;
+  const auto jobs = synthetic_trace(opt);
   AlibabaParseStats st;
   const auto back = parse_batch_task_text(write_batch_task_text(jobs), &st);
   EXPECT_EQ(st.dropped_jobs, 0u);

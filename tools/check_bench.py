@@ -208,6 +208,28 @@ def main():
                 floor,
             )
 
+    multijob_floors = baseline.get("multijob_min_gain_pct", {})
+    for entry in results.get("multijob", []):
+        intensity = field(entry, "intensity", "multijob")
+        floors = multijob_floors.get(intensity)
+        if floors is None:
+            continue
+        # Deterministic simulated-time gains: the floors gate scheduler
+        # behaviour (DelayStage must keep beating the no-delay baseline on
+        # mean JCT and p99 slowdown), not machine speed.
+        if "jct" in floors:
+            check(
+                f"multijob[{intensity}] JCT gain %",
+                field(entry, "jct_gain_pct", "multijob"),
+                floors["jct"],
+            )
+        if "slowdown" in floors:
+            check(
+                f"multijob[{intensity}] p99 slowdown gain %",
+                field(entry, "slowdown_gain_pct", "multijob"),
+                floors["slowdown"],
+            )
+
     service_floors = baseline.get("plan_service_plans_per_sec", {})
     for entry in results.get("plan_service", []):
         mode = field(entry, "mode", "plan_service")
@@ -236,6 +258,7 @@ def main():
             "engine_replay",
             "adaptive",
             "plan_service",
+            "multijob",
         )
         present = [k for k in known if results.get(k)]
         sys.exit(
