@@ -1,19 +1,23 @@
 // Observability overhead micro-benchmark: the same engine simulation timed
 // with obs off (null sink — compiled in but disabled), metrics only (live
-// registry handles, tracer disabled), and full (metrics + span tracing).
-// Writes BENCH_obs.json for tools/check_bench.py, which enforces both an
-// absolute throughput floor on the off mode and overhead ceilings (<3%) on
-// the instrumented modes.
+// registry handles, tracer disabled), flight (metrics + the always-on
+// flight-recorder ring), telemetry (metrics + one registry snapshot per
+// workload run, the streaming-sink steady state), and full (metrics + span
+// tracing). Writes BENCH_obs.json for tools/check_bench.py, which enforces
+// both an absolute throughput floor on the off mode and overhead ceilings
+// (<3%) on the instrumented modes.
 //
 //   ./bench_obs_overhead [output.json]
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "engine/job_run.h"
 #include "obs/obs.h"
+#include "obs/telemetry.h"
 #include "sched/strategy.h"
 #include "sim/cluster.h"
 #include "util/check.h"
@@ -52,15 +56,25 @@ int main(int argc, char** argv) {
   }
 
   // One sink per instrumented mode, reused across reps so the steady state
-  // (warm rings, resolved cells) is what gets timed.
+  // (warm rings, resolved cells, interned labels) is what gets timed.
   obs::TracerOptions full_topt;
   full_topt.enabled = true;
+  obs::FlightRecorderOptions flight_fopt;
+  flight_fopt.enabled = true;
   obs::Observability metrics_only;
+  obs::Observability flight_obs(obs::TracerOptions{}, flight_fopt);
+  obs::Observability telemetry_obs;
   obs::Observability full(full_topt);
-  std::vector<Mode> modes = {{"off"}, {"metrics"}, {"full"}};
-  obs::Observability* sinks[] = {nullptr, &metrics_only, &full};
+  std::ostringstream telemetry_out;
+  obs::TelemetrySink telemetry_sink(telemetry_out);
+  std::vector<Mode> modes = {
+      {"off"}, {"metrics"}, {"flight"}, {"telemetry"}, {"full"}};
+  obs::Observability* sinks[] = {nullptr, &metrics_only, &flight_obs,
+                                 &telemetry_obs, &full};
+  obs::TelemetrySink* telem[] = {nullptr, nullptr, nullptr, &telemetry_sink,
+                                 nullptr};
 
-  auto run_suite = [&](obs::Observability* obs) {
+  auto run_suite = [&](obs::Observability* obs, obs::TelemetrySink* sink) {
     Seconds jct_sum = 0;
     for (std::size_t i = 0; i < suite.size(); ++i) {
       sim::Simulator sim(obs);
@@ -69,11 +83,13 @@ int main(int argc, char** argv) {
       opt.plan = plans[i];
       opt.seed = kSeed;
       opt.obs = obs;
+      opt.flight_job_id = i + 1;
       engine::JobRun run(cluster, suite[i].dag, opt);
       run.start();
       sim.run();
       DS_CHECK(run.finished() && !run.result().failed);
       jct_sum += run.result().jct;
+      if (sink != nullptr) sink->snapshot(*obs, sim.now());
     }
     return jct_sum;
   };
@@ -85,9 +101,10 @@ int main(int argc, char** argv) {
   std::vector<double> best(modes.size(), 1e300);
   double reference_jct = -1;
   for (int rep = 0; rep < kReps; ++rep) {
+    telemetry_out.str("");  // discard last rep's snapshots, keep buffer warm
     for (std::size_t m = 0; m < modes.size(); ++m) {
       const auto t0 = Clock::now();
-      const Seconds jct = run_suite(sinks[m]);
+      const Seconds jct = run_suite(sinks[m], telem[m]);
       const double s = std::chrono::duration<double>(Clock::now() - t0).count();
       best[m] = std::min(best[m], s);
       if (reference_jct < 0) reference_jct = jct;
@@ -107,7 +124,10 @@ int main(int argc, char** argv) {
                m.overhead_pct});
   t.print(std::cout);
   std::cout << "traced events: " << full.tracer.recorded() << " ("
-            << full.tracer.dropped() << " dropped)\n";
+            << full.tracer.dropped() << " dropped), flight records: "
+            << flight_obs.flight.recorded() << " ("
+            << flight_obs.flight.dropped() << " dropped), telemetry snapshots: "
+            << telemetry_sink.snapshots() << "\n";
 
   std::ofstream json(out_path);
   json.precision(6);

@@ -1,7 +1,9 @@
 // Shared command-line plumbing for the example CLIs, so delaystage_cli and
 // trace_analysis spell and validate
-// --threads/--seed/--quantile/--trace-out/--metrics-out/--report-out
-// identically, and dispatch subcommands through one registry.
+// --threads/--seed/--quantile/--trace-out/--metrics-out/--report-out (plus
+// the live-observability flags --flight-out/--prom-out/--telemetry-out/
+// --telemetry-period/--slo) identically, and dispatch subcommands through
+// one registry.
 //
 // Subcommand registry: the canonical commands (plan / run / report / trace /
 // serve / sched / demo) are declared once here — name, operand synopsis and
@@ -25,6 +27,7 @@
 
 #include "core/options.h"
 #include "obs/obs.h"
+#include "obs/telemetry.h"
 
 namespace ds::cli {
 
@@ -94,8 +97,16 @@ struct CommonFlags {
   std::string trace_out;    // Chrome trace_event JSON; empty = no tracing
   std::string metrics_out;  // metrics registry JSON; empty = no dump
   std::string report_out;   // analytics report (.csv → CSV, else JSON)
+  std::string flight_out;   // flight-recorder NDJSON; empty = recorder off
+  std::string prom_out;     // Prometheus text exposition; empty = no dump
+  std::string telemetry_out;       // streaming telemetry NDJSON; empty = off
+  double telemetry_period = 10.0;  // cadence (sim s for sched, wall s for serve)
+  std::vector<std::string> slo;    // raw rule specs ("p99_slowdown<=2.5")
 
-  bool want_obs() const { return !trace_out.empty() || !metrics_out.empty(); }
+  bool want_obs() const {
+    return !trace_out.empty() || !metrics_out.empty() ||
+           !flight_out.empty() || !prom_out.empty() || !telemetry_out.empty();
+  }
 
   void apply(CommonOptions& opt) const {
     opt.threads = threads;
@@ -117,6 +128,14 @@ inline CommonFlags parse_common_flags(int argc, char** argv,
   f.trace_out = flag(argc, argv, "--trace-out", "");
   f.metrics_out = flag(argc, argv, "--metrics-out", "");
   f.report_out = flag(argc, argv, "--report-out", "");
+  f.flight_out = flag(argc, argv, "--flight-out", "");
+  f.prom_out = flag(argc, argv, "--prom-out", "");
+  f.telemetry_out = flag(argc, argv, "--telemetry-out", "");
+  f.telemetry_period =
+      num_flag(argc, argv, "--telemetry-period", f.telemetry_period);
+  if (f.telemetry_period <= 0)
+    throw std::runtime_error("--telemetry-period must be > 0");
+  f.slo = flags(argc, argv, "--slo");
   return f;
 }
 
@@ -174,7 +193,14 @@ inline void print_usage(std::ostream& os, const std::string& prog,
   }
   os << "\nshared flags: --threads N (0 = hw concurrency), --seed N,\n"
         "  --quantile Q (0 < Q < 1: straggler-quantile planning),\n"
-        "  --trace-out FILE, --metrics-out FILE, --report-out FILE\n";
+        "  --trace-out FILE, --metrics-out FILE, --report-out FILE,\n"
+        "  --flight-out FILE (scheduler audit trail, NDJSON; auto-dumped on\n"
+        "    job failure or invariant violation), --prom-out FILE\n"
+        "    (Prometheus text exposition of the metrics registry),\n"
+        "  --telemetry-out FILE --telemetry-period S (streaming metric\n"
+        "    snapshots, one NDJSON line per tick),\n"
+        "  --slo p<Q>_<jct|slowdown|queue_wait|plan_latency><=X (repeatable;\n"
+        "    sched only — live SLO tracking with violation events)\n";
 }
 
 // Routes argv[1] to its subcommand. `help`/`--help`/`-h` print usage. When
@@ -205,23 +231,46 @@ inline int dispatch(int argc, char** argv, const std::vector<Subcommand>& cmds,
 // whenever the sink exists (a registry dump costs nothing until exported).
 class ObsSink {
  public:
-  explicit ObsSink(const CommonFlags& f, bool force_trace = false)
-      : trace_out_(f.trace_out), metrics_out_(f.metrics_out) {
+  // `telemetry_options` filters what the streaming sink serializes (the
+  // sched CLI excludes the wall-clock metric prefixes so its stream stays
+  // byte-reproducible across --threads).
+  explicit ObsSink(const CommonFlags& f, bool force_trace = false,
+                   obs::TelemetryOptions telemetry_options = {})
+      : trace_out_(f.trace_out),
+        metrics_out_(f.metrics_out),
+        flight_out_(f.flight_out),
+        prom_out_(f.prom_out) {
     if (f.want_obs() || force_trace) {
       obs::TracerOptions topt;
       topt.enabled = !f.trace_out.empty() || force_trace;
-      obs_ = std::make_unique<obs::Observability>(topt);
+      obs::FlightRecorderOptions fopt;
+      fopt.enabled = !f.flight_out.empty();
+      fopt.dump_path = f.flight_out;  // anomaly dumps land where --flight-out
+      obs_ = std::make_unique<obs::Observability>(topt, fopt);
+      // Any DS_CHECK violation from here on dumps the audit trail first.
+      if (fopt.enabled) obs::install_crash_dump(&obs_->flight);
+      if (!f.telemetry_out.empty()) {
+        telemetry_stream_ = std::make_unique<std::ofstream>(f.telemetry_out);
+        if (!*telemetry_stream_)
+          throw std::runtime_error("cannot write " + f.telemetry_out);
+        telemetry_ = std::make_unique<obs::TelemetrySink>(
+            *telemetry_stream_, std::move(telemetry_options));
+      }
     }
   }
 
   // nullptr when no observability was requested — zero overhead downstream.
   obs::Observability* get() { return obs_.get(); }
 
+  // nullptr unless --telemetry-out was given.
+  obs::TelemetrySink* telemetry() { return telemetry_.get(); }
+
   // Write whichever outputs were requested; throws on IO failure. Warns once
   // on stderr when the span ring overflowed, so a truncated trace (or an
   // analytics report computed from one) is never silent.
   void flush() {
     if (obs_ == nullptr) return;
+    obs_->refresh_derived();  // tracer.dropped_spans / flight.dropped_records
     if (const std::uint64_t lost = obs_->tracer.dropped(); lost > 0) {
       std::cerr << "warning: trace ring overflowed, " << lost
                 << " span(s) dropped — raise TracerOptions::ring_capacity "
@@ -239,12 +288,28 @@ class ObsSink {
       obs_->metrics.write_json(out);
       if (!out) throw std::runtime_error("failed writing " + metrics_out_);
     }
+    if (!prom_out_.empty()) {
+      std::ofstream out(prom_out_);
+      if (!out) throw std::runtime_error("cannot write " + prom_out_);
+      obs_->metrics.write_prometheus(out);
+      if (!out) throw std::runtime_error("failed writing " + prom_out_);
+    }
+    // Final trail overwrite: --flight-out always ends up holding the most
+    // recent records (a mid-run anomaly dump is superseded by this fuller
+    // one — the anomaly's records are still in the trail unless the ring
+    // wrapped past them).
+    if (!flight_out_.empty() && !obs_->flight.dump_now("exit"))
+      throw std::runtime_error("cannot write " + flight_out_);
   }
 
  private:
   std::string trace_out_;
   std::string metrics_out_;
+  std::string flight_out_;
+  std::string prom_out_;
   std::unique_ptr<obs::Observability> obs_;
+  std::unique_ptr<std::ofstream> telemetry_stream_;
+  std::unique_ptr<obs::TelemetrySink> telemetry_;
 };
 
 }  // namespace ds::cli

@@ -18,7 +18,8 @@
 //   ./delaystage_cli demo                 # print a sample spec
 //   ./delaystage_cli serve [--store FILE] [--cluster ...] [--threads N]
 //                          [--batch N] [--cache-shards N] [--cache-capacity N]
-//                          [--quantile Q]
+//                          [--quantile Q] [--flight-out FILE]
+//                          [--telemetry-out FILE] [--telemetry-period S]
 //   ./delaystage_cli sched [--jobs N] [--rate R] [--arrival poisson|trace]
 //                          [--trace batch_task.csv] [--jobs-in FILE|-]
 //                          [--policy fifo|sjf|hard-first] [--no-delay]
@@ -26,6 +27,9 @@
 //                          [--delay-budget S] [--store FILE] [--scale F]
 //                          [--cluster ...] [--threads N] [--seed N]
 //                          [--quantile Q] [--report-out FILE]
+//                          [--fail-rate P] [--max-attempts N]
+//                          [--flight-out FILE] [--telemetry-out FILE]
+//                          [--telemetry-period S] [--slo RULE]...
 //
 // Daemon mode: `serve` reads newline-delimited JSON plan requests on stdin
 // and answers one JSON object per line on stdout (see store/daemon.h for the
@@ -55,10 +59,25 @@
 //
 // Observability (all commands): --trace-out FILE writes a Chrome
 // trace_event JSON (open in chrome://tracing or https://ui.perfetto.dev);
-// --metrics-out FILE dumps the metrics registry as JSON. `plan` traces the
-// planner's wall-clock phases plus the predicted stage timeline; `run`
+// --metrics-out FILE dumps the metrics registry as JSON; --prom-out FILE
+// writes the same registry as a Prometheus text exposition. `plan` traces
+// the planner's wall-clock phases plus the predicted stage timeline; `run`
 // traces the simulated stage/task lifecycle per worker slot and the
 // cluster-utilization counters.
+//
+// Live observability (sched, serve): --flight-out FILE arms the always-on
+// flight recorder — a bounded ring of structured scheduler lifecycle events
+// (submit/admit/grant/plan/run/replan/release/finish + queue depth, ledger
+// occupancy, cache verdicts, chosen delays) dumped as versioned NDJSON at
+// exit and automatically on job failure or invariant violation.
+// --telemetry-out FILE streams periodic metric snapshots (NDJSON, one
+// registry snapshot per line) every --telemetry-period seconds — simulated
+// time for sched (and therefore bit-identical across --threads), wall time
+// for serve. --slo p<Q>_<jct|slowdown|queue_wait|plan_latency><=X
+// (repeatable, sched only) arms online DDSketch-style quantile tracking per
+// priority class; each ok→violated transition emits a structured
+// slo_violation flight event. A {"cmd": "stats"} line in --jobs-in answers
+// with one live {"ev": "stats"} state line (see service/ndjson.h).
 //
 // Analytics: `report` plans with the DelayStage calculator, executes the
 // schedule, and prints per-stage predicted-vs-actual residuals for the three
@@ -66,7 +85,9 @@
 // nonzero on drift warnings). `run --report-out FILE` attaches the same
 // report to any strategy's run; .csv extension selects CSV, else JSON.
 //
-// Fault flags: --fail-rate aborts each task attempt with probability P;
+// Fault flags: --fail-rate (run, sched) aborts each task attempt with
+// probability P — a job whose stage exhausts --max-attempts fails, which in
+// sched also triggers a flight-recorder auto-dump;
 // --crash schedules a worker crash at time T (rejoining after DOWN seconds,
 // or staying down); --crash-rate draws Poisson crashes per worker over
 // [0, --horizon) with exponential downtimes of mean --mean-downtime
@@ -448,6 +469,8 @@ int cmd_serve(int argc, char** argv, const ds::sim::ClusterSpec& spec,
   cf.apply(dopt.service.calculator);
   dopt.service.calculator.obs = sink.get();
   dopt.service.calculator.model.quantile = cf.quantile;
+  dopt.telemetry = sink.telemetry();
+  dopt.telemetry_period = cf.telemetry_period;
   if (const Status st = core::validate(dopt.service.calculator); !st.is_ok())
     throw std::runtime_error(st.message());
 
@@ -491,6 +514,17 @@ int cmd_sched(int argc, char** argv, const ds::sim::ClusterSpec& spec,
       cli::num_flag(argc, argv, "--interference", opt.interference);
   opt.delay_budget =
       cli::num_flag(argc, argv, "--delay-budget", opt.delay_budget);
+  opt.task_failure_rate = cli::num_flag(argc, argv, "--fail-rate", 0);
+  opt.max_attempts =
+      static_cast<int>(cli::int_flag(argc, argv, "--max-attempts", 4));
+  for (const std::string& spec_text : cf.slo) {
+    obs::SloRule rule;
+    if (const Status st = obs::parse_slo_rule(spec_text, &rule); !st.is_ok())
+      throw std::runtime_error(st.message());
+    opt.slo.push_back(rule);
+  }
+  opt.telemetry = sink.telemetry();
+  opt.telemetry_period = cf.telemetry_period;
   if (const Status st = validate(opt); !st.is_ok())
     throw std::runtime_error(st.message());
   Scheduler sched(opt);
@@ -519,6 +553,13 @@ int cmd_sched(int argc, char** argv, const ds::sim::ClusterSpec& spec,
       if (const Status st = service::parse_sched_request(line, &req);
           !st.is_ok())
         throw std::runtime_error(st.message());
+      if (req.kind == service::SchedRequest::Kind::kStats) {
+        // Answer in stream order: advance past the preceding submissions'
+        // arrival time, then emit one live state line.
+        sched.run_until(prev);
+        sched.write_stats(std::cout);
+        continue;
+      }
       prev = req.arrival >= 0 ? req.arrival : prev;
       sched.submit_at(prev, req.dag, req.priority);
     }
@@ -666,7 +707,12 @@ int sub_sched(int argc, char** argv) {
   const auto spec =
       cluster_for(cli::flag(argc, argv, "--cluster", "prototype"));
   const cli::CommonFlags cf = cli::parse_common_flags(argc, argv);
-  cli::ObsSink sink(cf);
+  // sched telemetry is part of the determinism contract (bit-identical for
+  // any --threads), so wall-clock metrics (planner wall latency, tracer
+  // drop counters) are excluded from the stream.
+  obs::TelemetryOptions topt;
+  topt.exclude_prefixes = {"planner.", "tracer."};
+  cli::ObsSink sink(cf, /*force_trace=*/false, std::move(topt));
   const int rc = cmd_sched(argc, argv, spec, cf, sink);
   sink.flush();
   return rc;

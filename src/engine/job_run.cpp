@@ -21,6 +21,7 @@ JobRun::JobRun(sim::Cluster& cluster, const dag::JobDag& dag, RunOptions opt)
       opt_(std::move(opt)),
       rng_(opt_.seed),
       trace_(obs::tracer(opt_.obs)),
+      flight_(obs::flight(opt_.obs)),
       m_tasks_launched_(obs::counter(opt_.obs, "engine.tasks_launched")),
       m_tasks_finished_(obs::counter(opt_.obs, "engine.tasks_finished")),
       m_task_aborts_(obs::counter(opt_.obs, "engine.task_aborts")),
@@ -147,8 +148,25 @@ void JobRun::start() {
   DS_CHECK_MSG(!started_, "JobRun::start() called twice");
   started_ = true;
   dag_.topo_order();  // validates acyclicity up front
+  flight_record(obs::FlightKind::kRunStart, dag::kNoStage,
+                static_cast<double>(dag_.num_stages()),
+                static_cast<double>(result_.tasks.size()));
   for (dag::StageId s : dag_.sources()) on_ready(s);
   if (opt_.record_occupancy) sample_occupancy();
+}
+
+void JobRun::flight_record(obs::FlightKind kind, dag::StageId s, double value,
+                           double aux, const char* label) {
+  if (flight_ == nullptr) return;
+  obs::FlightRecord r;
+  r.t = cluster_.sim().now();
+  r.kind = kind;
+  r.job = opt_.flight_job_id;
+  r.stage = s == dag::kNoStage ? -1 : static_cast<std::int32_t>(s);
+  r.label = label;
+  r.value = value;
+  r.aux = aux;
+  flight_->record(r);
 }
 
 const JobResult& JobRun::result() const {
@@ -681,6 +699,7 @@ void JobRun::demand_parents(dag::StageId s) {
       if (trace_ != nullptr)
         trace_->instant("stage", "resubmit", now, obs::kJobPid, p);
       ps.reopened_at = now;
+      int reopened_tasks = 0;
       for (int t = 0; t < dag_.stage(p).num_tasks; ++t) {
         const auto ti = static_cast<std::size_t>(t);
         if (!ps.lost[ti]) continue;
@@ -689,9 +708,13 @@ void JobRun::demand_parents(dag::StageId s) {
         ps.spec_requested[ti] = false;
         ++ps.remaining_tasks;
         ++r.tasks_rerun;
+        ++reopened_tasks;
         park_task(p, t);
       }
       ps.lost_count = 0;
+      flight_record(obs::FlightKind::kRecovery, p,
+                    static_cast<double>(reopened_tasks),
+                    static_cast<double>(r.resubmissions), "stage_resubmit");
       if (r.resubmissions > opt_.max_stage_resubmissions) {
         fail_job("stage " + std::to_string(p) + " resubmitted " +
                  std::to_string(r.resubmissions) +
@@ -837,6 +860,8 @@ void JobRun::consider_replan(dag::StageId trigger, const char* reason) {
   if (trace_ != nullptr)
     trace_->instant("replan", reason, now, obs::kJobPid,
                     trigger == dag::kNoStage ? 0 : trigger);
+  flight_record(obs::FlightKind::kReplan, trigger, d.expected_gain,
+                static_cast<double>(result_.replans), reason);
 
   // Install the new delays for every pending stage. A stage already sitting
   // in its delay window has its submission event rescheduled to
@@ -863,6 +888,13 @@ void JobRun::fail_job(const std::string& reason) {
   result_.failed = true;
   result_.failed_at = cluster_.sim().now();
   result_.failure_reason = reason;
+  if (flight_ != nullptr) {
+    flight_record(obs::FlightKind::kFail, dag::kNoStage, 0, 0,
+                  flight_->intern(reason));
+    // A terminal job failure is exactly what the audit trail exists for:
+    // dump it while the evidence is still in the ring.
+    flight_->on_anomaly(("job_failed: " + reason).c_str());
+  }
   // Unwind every live attempt; their burn counts as wasted work. Queued slot
   // requests drain harmlessly (launch_attempt releases grants once failed_).
   for (dag::StageId s = 0; s < dag_.num_stages(); ++s) {
@@ -890,6 +922,8 @@ void JobRun::finish_stage(dag::StageId s) {
   auto& r = rec(s);
   r.finish = cluster_.sim().now();
   m_stages_finished_.inc();
+  flight_record(obs::FlightKind::kStageFinish, s, r.duration(),
+                static_cast<double>(dag_.stage(s).num_tasks));
   if (trace_ != nullptr)
     trace_->complete("stage", stage_trace_names_[static_cast<std::size_t>(s)],
                      r.submitted, r.finish - r.submitted, obs::kJobPid, s);

@@ -117,6 +117,10 @@ struct RunOptions : CommonOptions {
   // entry. Empty (or a missing/non-positive entry) disables the drift
   // trigger for that stage; crash triggers work regardless.
   std::vector<Seconds> predicted_durations;
+  // Flight-recorder job id: stamps every audit record this run emits (run
+  // start, stage finishes, replans, recoveries, failures) so a host
+  // scheduling many runs can correlate the trail. 0 = standalone run.
+  std::uint64_t flight_job_id = 0;
   // Terminal-state hook: invoked exactly once, at the sim time the run
   // reaches a terminal state (result().complete() or result().failed), with
   // the finalised result. This is how a host scheduling many concurrent runs
@@ -302,8 +306,14 @@ class JobRun {
   sim::EventId occupancy_event_ = sim::kInvalidEvent;
   sim::FaultInjector::SubscriptionId fault_sub_ = 0;
 
+  // Append one audit record (no-op when the recorder is off). Fills t, job
+  // and the caller's kind-specific fields.
+  void flight_record(obs::FlightKind kind, dag::StageId s, double value,
+                     double aux = 0, const char* label = nullptr);
+
   // Observability handles (disabled when opt_.obs is null).
   obs::Tracer* trace_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
   std::vector<const char*> stage_trace_names_;  // interned, tracing only
   std::vector<std::vector<bool>> lanes_;        // per worker, tracing only
   obs::Counter m_tasks_launched_;

@@ -1,0 +1,176 @@
+#include "obs/flight_recorder.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+#include "util/check.h"
+#include "util/json.h"
+
+namespace ds::obs {
+
+namespace {
+
+// The recorder registered for crash dumps (at most one per process).
+std::atomic<FlightRecorder*> g_crash_recorder{nullptr};
+
+void crash_hook(const std::string& what) {
+  if (FlightRecorder* rec = g_crash_recorder.load(std::memory_order_acquire))
+    rec->on_anomaly(what.c_str());
+}
+
+std::string fmt_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+void write_record(std::ostream& os, const FlightRecord& r) {
+  os << "{\"v\": 1, \"seq\": " << r.seq << ", \"t\": " << fmt_number(r.t)
+     << ", \"ev\": \"" << to_string(r.kind) << '"';
+  if (r.job != 0) os << ", \"job\": " << r.job;
+  if (r.stage >= 0) os << ", \"stage\": " << r.stage;
+  os << ", \"priority\": " << r.priority;
+  if (r.label != nullptr && r.label[0] != '\0') {
+    os << ", \"label\": ";
+    json::write_string(os, r.label);
+  }
+  if (r.queue_depth >= 0)
+    os << ", \"queue_depth\": " << fmt_number(r.queue_depth);
+  if (r.occupancy >= 0) os << ", \"occupancy\": " << fmt_number(r.occupancy);
+  os << ", \"value\": " << fmt_number(r.value)
+     << ", \"aux\": " << fmt_number(r.aux);
+  if (r.cache >= 0) os << ", \"cache\": \"" << (r.cache ? "hit" : "miss")
+                       << '"';
+  os << "}\n";
+}
+
+}  // namespace
+
+const char* to_string(FlightKind kind) {
+  switch (kind) {
+    case FlightKind::kSubmit: return "submit";
+    case FlightKind::kAdmit: return "admit";
+    case FlightKind::kGrant: return "grant";
+    case FlightKind::kPlan: return "plan";
+    case FlightKind::kRunStart: return "run";
+    case FlightKind::kStageFinish: return "stage";
+    case FlightKind::kReplan: return "replan";
+    case FlightKind::kRecovery: return "recovery";
+    case FlightKind::kRelease: return "release";
+    case FlightKind::kFinish: return "finish";
+    case FlightKind::kFail: return "fail";
+    case FlightKind::kSloViolation: return "slo_violation";
+    case FlightKind::kMark: return "mark";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder(FlightRecorderOptions opt)
+    : opt_(std::move(opt)) {
+  if (opt_.enabled) {
+    DS_CHECK_MSG(opt_.capacity > 0, "flight recorder needs capacity >= 1");
+    ring_.resize(opt_.capacity);
+  }
+}
+
+FlightRecorder::~FlightRecorder() {
+  FlightRecorder* expected = this;
+  g_crash_recorder.compare_exchange_strong(expected, nullptr,
+                                           std::memory_order_acq_rel);
+}
+
+void FlightRecorder::record(FlightRecord r) {
+  if (!opt_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  r.seq = head_;
+  if (r.label == nullptr) r.label = "";
+  ring_[static_cast<std::size_t>(head_ % ring_.size())] = r;
+  ++head_;
+}
+
+const char* FlightRecorder::intern(const std::string& s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = intern_index_.find(s);
+  if (it != intern_index_.end()) return it->second;
+  interned_.push_back(s);
+  const char* p = interned_.back().c_str();
+  intern_index_.emplace(s, p);
+  return p;
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_;
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_ > ring_.size() ? head_ - ring_.size() : 0;
+}
+
+std::size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::size_t>(
+      head_ < ring_.size() ? head_ : ring_.size());
+}
+
+std::vector<FlightRecord> FlightRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FlightRecord> out;
+  if (!opt_.enabled || head_ == 0) return out;
+  const std::uint64_t n =
+      head_ < ring_.size() ? head_ : static_cast<std::uint64_t>(ring_.size());
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = head_ - n; i < head_; ++i)
+    out.push_back(ring_[static_cast<std::size_t>(i % ring_.size())]);
+  return out;
+}
+
+void FlightRecorder::write_ndjson(std::ostream& os) const {
+  for (const FlightRecord& r : snapshot()) write_record(os, r);
+}
+
+bool FlightRecorder::dump_now(const char* reason) {
+  if (!opt_.enabled || opt_.dump_path.empty()) return false;
+  const auto trail = snapshot();
+  auto write_all = [&](std::ostream& os) {
+    os << "{\"v\": 1, \"ev\": \"dump\", \"reason\": ";
+    json::write_string(os, reason != nullptr ? reason : "");
+    std::uint64_t total = 0, lost = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      total = head_;
+      lost = head_ > ring_.size() ? head_ - ring_.size() : 0;
+    }
+    os << ", \"recorded\": " << total << ", \"dropped\": " << lost << "}\n";
+    for (const FlightRecord& r : trail) write_record(os, r);
+  };
+  if (opt_.dump_path == "-") {
+    write_all(std::cerr);
+    return true;
+  }
+  std::ofstream out(opt_.dump_path);
+  if (!out) return false;  // a failed audit dump must not throw
+  write_all(out);
+  return static_cast<bool>(out);
+}
+
+void FlightRecorder::on_anomaly(const char* reason) {
+  if (!opt_.enabled) return;
+  FlightRecord r;
+  r.kind = FlightKind::kMark;
+  r.label = intern(std::string("anomaly: ") +
+                   (reason != nullptr ? reason : ""));
+  record(r);
+  dump_now(reason);
+}
+
+void install_crash_dump(FlightRecorder* rec) {
+  g_crash_recorder.store(rec, std::memory_order_release);
+  check_failure_hook() = rec != nullptr ? &crash_hook : nullptr;
+}
+
+}  // namespace ds::obs

@@ -2,6 +2,16 @@
 
 namespace ds::obs {
 
+void Observability::refresh_derived() {
+  const auto bump_to = [this](const char* name, std::uint64_t total) {
+    if (total == 0) return;
+    Counter c = metrics.counter(name);
+    if (total > c.value()) c.inc(total - c.value());
+  };
+  if (tracer.enabled()) bump_to("tracer.dropped_spans", tracer.dropped());
+  if (flight.enabled()) bump_to("flight.dropped_records", flight.dropped());
+}
+
 WallSpan::WallSpan(Tracer* tracer, const char* cat, const char* name,
                    std::int32_t pid, std::int32_t tid, const char* arg_name,
                    double arg_value)

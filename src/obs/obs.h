@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/registry.h"
 #include "obs/tracer.h"
 
@@ -35,8 +36,18 @@ constexpr std::int32_t kPlannerPid = 1 << 20;
 struct Observability {
   Observability() = default;
   explicit Observability(TracerOptions trace_options) : tracer(trace_options) {}
+  Observability(TracerOptions trace_options,
+                FlightRecorderOptions flight_options)
+      : tracer(trace_options), flight(flight_options) {}
   MetricsRegistry metrics;
   Tracer tracer;
+  FlightRecorder flight;
+
+  // Fold ring-buffer loss counts into the registry (tracer.dropped_spans,
+  // flight.dropped_records) so exporters see them as ordinary counters.
+  // Counters only move forward, so this applies the delta since the last
+  // refresh. Called by TelemetrySink::snapshot and the CLIs' exit flush.
+  void refresh_derived();
 };
 
 inline Counter counter(Observability* obs, const std::string& name) {
@@ -55,6 +66,10 @@ inline Histogram histogram(Observability* obs, const std::string& name,
 
 inline Tracer* tracer(Observability* obs) {
   return obs != nullptr && obs->tracer.enabled() ? &obs->tracer : nullptr;
+}
+
+inline FlightRecorder* flight(Observability* obs) {
+  return obs != nullptr && obs->flight.enabled() ? &obs->flight : nullptr;
 }
 
 // RAII wall-clock span for host-side phases (planner scans, restarts). No-op

@@ -1,0 +1,123 @@
+// Deterministic, mergeable streaming quantile sketch (DDSketch-style).
+//
+// Values land in logarithmic buckets with a fixed relative accuracy α:
+// bucket i covers (γ^(i-1), γ^i] with γ = (1+α)/(1-α), so quantile(q) is
+// within a factor (1 ± α) of the true sample quantile. All state is integer
+// bucket counts plus order-independent min/max — observing the same multiset
+// of samples in ANY order, or merging any partition of it in any grouping,
+// yields bit-identical counts and therefore bit-identical quantiles. That is
+// the property the online SLO tracker leans on: per-shard sketches merge
+// associatively, and the scheduler's live p99s cannot depend on thread
+// count (quantile_sketch_test pins both).
+//
+// Memory is fixed at construction (one bounded bucket array, no allocation
+// per observe/merge); the representable range is [kMinTracked, kMaxTracked]
+// — smaller samples count into the zero bucket, larger ones saturate into
+// the top bucket (both still counted, so count() is exact).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/check.h"
+
+namespace ds::obs {
+
+class QuantileSketch {
+ public:
+  // α in (0, 0.5]: the guaranteed relative accuracy of quantile().
+  explicit QuantileSketch(double relative_accuracy = 0.01)
+      : alpha_(relative_accuracy),
+        gamma_((1.0 + relative_accuracy) / (1.0 - relative_accuracy)),
+        inv_log_gamma_(1.0 / std::log(gamma_)) {
+    DS_CHECK_MSG(relative_accuracy > 0 && relative_accuracy <= 0.5,
+                 "relative_accuracy must be in (0, 0.5]");
+    const int buckets = static_cast<int>(std::ceil(
+        std::log(kMaxTracked / kMinTracked) / std::log(gamma_))) + 2;
+    counts_.assign(static_cast<std::size_t>(buckets), 0);
+  }
+
+  double relative_accuracy() const { return alpha_; }
+
+  void observe(double v) {
+    ++total_;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+    if (!(v > kMinTracked)) {  // non-positive, tiny, or NaN → zero bucket
+      ++zero_count_;
+      return;
+    }
+    ++counts_[static_cast<std::size_t>(index_of(v))];
+  }
+
+  // Fold another sketch in. Exactly associative and commutative: counts add
+  // as integers, min/max as order-independent extrema. Both sketches must
+  // share the accuracy (and therefore the bucket layout).
+  void merge(const QuantileSketch& other) {
+    DS_CHECK_MSG(counts_.size() == other.counts_.size() &&
+                     alpha_ == other.alpha_,
+                 "merging sketches with different accuracy");
+    total_ += other.total_;
+    zero_count_ += other.zero_count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+      counts_[i] += other.counts_[i];
+  }
+
+  std::uint64_t count() const { return total_; }
+  bool empty() const { return total_ == 0; }
+  double min() const { return total_ > 0 ? min_ : 0.0; }
+  double max() const { return total_ > 0 ? max_ : 0.0; }
+
+  // q in [0, 1]. Nearest-rank walk over the integer counts; the returned
+  // bucket midpoint is within (1 ± α) of the true sample quantile, clamped
+  // to the observed [min, max] so tails stay inside the sample range.
+  double quantile(double q) const {
+    if (total_ == 0) return 0.0;
+    const auto rank = static_cast<std::uint64_t>(std::max<double>(
+        1.0, std::ceil(std::clamp(q, 0.0, 1.0) *
+                       static_cast<double>(total_))));
+    std::uint64_t cum = zero_count_;
+    if (rank <= cum) return std::clamp(0.0, min_, max_);
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      cum += counts_[i];
+      if (rank <= cum) {
+        // Midpoint of (γ^(i-1), γ^i] in the multiplicative sense:
+        // 2γ^i / (γ+1), computed identically for identical counts.
+        const double upper =
+            kMinTracked * std::pow(gamma_, static_cast<double>(i + 1));
+        return std::clamp(2.0 * upper / (gamma_ + 1.0), min_, max_);
+      }
+    }
+    return max_;  // unreachable: cum reaches total_
+  }
+
+  std::uint64_t zero_count() const { return zero_count_; }
+
+ private:
+  // Tracked dynamic range: nanoseconds-ish to ~32 years in seconds terms.
+  static constexpr double kMinTracked = 1e-9;
+  static constexpr double kMaxTracked = 1e9;
+
+  int index_of(double v) const {
+    const double clamped = std::min(v, kMaxTracked);
+    const int i = static_cast<int>(
+        std::ceil(std::log(clamped / kMinTracked) * inv_log_gamma_));
+    return std::clamp(i, 0, static_cast<int>(counts_.size()) - 1);
+  }
+
+  double alpha_;
+  double gamma_;
+  double inv_log_gamma_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t zero_count_ = 0;
+  std::uint64_t total_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace ds::obs

@@ -245,4 +245,80 @@ void MetricsRegistry::write_json(std::ostream& os) const {
   os << (first ? "" : "\n  ") << "}\n}\n";
 }
 
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, cell] : counters_)
+    snap.counters.emplace_back(name,
+                               cell->value.load(std::memory_order_relaxed));
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, cell] : gauges_)
+    snap.gauges.emplace_back(name,
+                             cell->value.load(std::memory_order_relaxed));
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, cell] : histograms_) {
+    const HistSnapshot hs(*cell);
+    HistogramStat stat;
+    stat.name = name;
+    stat.count = hs.total;
+    stat.sum = cell->sum.load(std::memory_order_relaxed);
+    stat.mean = hs.total > 0 ? stat.sum / static_cast<double>(hs.total) : 0.0;
+    stat.p50 = hs.percentile(50.0);
+    stat.p90 = hs.percentile(90.0);
+    stat.p99 = hs.percentile(99.0);
+    snap.histograms.push_back(std::move(stat));
+  }
+  return snap;
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; the registry's dotted names
+// map onto underscores ("sched.queue_depth" → "sched_queue_depth").
+std::string prom_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, cell] : counters_) {
+    const std::string p = prom_name(name) + "_total";
+    os << "# TYPE " << p << " counter\n"
+       << p << ' ' << cell->value.load(std::memory_order_relaxed) << '\n';
+  }
+  for (const auto& [name, cell] : gauges_) {
+    const std::string p = prom_name(name);
+    os << "# TYPE " << p << " gauge\n"
+       << p << ' '
+       << fmt_number(cell->value.load(std::memory_order_relaxed)) << '\n';
+  }
+  for (const auto& [name, cell] : histograms_) {
+    const std::string p = prom_name(name);
+    const HistSnapshot snap(*cell);
+    os << "# TYPE " << p << " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < snap.counts.size(); ++b) {
+      cum += snap.counts[b];
+      os << p << "_bucket{le=\"";
+      if (b < cell->bounds.size())
+        os << fmt_number(cell->bounds[b]);
+      else
+        os << "+Inf";
+      os << "\"} " << cum << '\n';
+    }
+    os << p << "_sum " << fmt_number(cell->sum.load(std::memory_order_relaxed))
+       << '\n'
+       << p << "_count " << snap.total << '\n';
+  }
+}
+
 }  // namespace ds::obs

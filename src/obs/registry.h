@@ -128,6 +128,27 @@ class Histogram {
 std::vector<double> linear_buckets(double width, int count);
 std::vector<double> exponential_buckets(double start, double factor, int count);
 
+// One histogram's derived summary inside a MetricsSnapshot.
+struct HistogramStat {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+};
+
+// A point-in-time copy of every metric, names sorted — what the streaming
+// telemetry sink serializes on each cadence tick. Values are read relaxed;
+// for the deterministic (sim-event-driven) metrics a snapshot taken at a
+// fixed sim time is bit-reproducible.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramStat> histograms;
+};
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -150,6 +171,14 @@ class MetricsRegistry {
   // Dump every metric as JSON, names sorted, histograms with bucket table +
   // 20-point CDF. Values are read relaxed: quiesce writers for exact totals.
   void write_json(std::ostream& os) const;
+
+  // Point-in-time copy of every metric (see MetricsSnapshot).
+  MetricsSnapshot snapshot() const;
+
+  // Prometheus text exposition (version 0.0.4): dots become underscores,
+  // counters get a _total suffix, histograms emit cumulative _bucket{le=…}
+  // series plus _sum and _count — ready for a scrape endpoint or promtool.
+  void write_prometheus(std::ostream& os) const;
 
  private:
   mutable std::mutex mu_;

@@ -44,6 +44,13 @@ Status parse_sched_request(const std::string& line, SchedRequest* out) {
     return st;
 
   SchedRequest r;
+  if (const json::Value* cmd = req.find("cmd"); cmd != nullptr) {
+    if (cmd->str_or("") != "stats")
+      return Status::error("unknown \"cmd\" (expected \"stats\")");
+    r.kind = SchedRequest::Kind::kStats;
+    *out = std::move(r);
+    return Status::ok();
+  }
   const json::Value* workload = req.find("workload");
   const json::Value* spec = req.find("spec");
   if ((workload != nullptr) == (spec != nullptr))

@@ -6,11 +6,17 @@
 // One request per line:
 //   {"v": 1, "workload": "lda", "scale": 1.0, "arrival": 12.5, "priority": 0}
 //   {"v": 1, "spec": "<job-spec text>", "arrival": 30}
+//   {"v": 1, "cmd": "stats"}
 // Exactly one of "workload" (a built-in benchmark name: als,
 // connected_components, cosine_similarity, lda, triangle_count) or "spec"
 // (inline dag/serialize job-spec text) selects the job. "arrival" is the
 // absolute submit time in seconds (absent/negative = back-to-back with the
 // previous job), "priority" the class (lower = more important).
+//
+// A {"cmd": "stats"} line is not a submission: the CLI answers it in stream
+// order with one live {"ev": "stats"} state line (queue depth, ledger
+// occupancy, fleet quantiles, SLO verdicts — Scheduler::write_stats),
+// evaluated after the preceding submissions have been processed.
 #pragma once
 
 #include <iosfwd>
@@ -24,7 +30,9 @@
 namespace ds::service {
 
 struct SchedRequest {
-  dag::JobDag dag;
+  enum class Kind { kSubmit, kStats };
+  Kind kind = Kind::kSubmit;
+  dag::JobDag dag;       // kSubmit only
   Seconds arrival = -1;  // < 0: caller decides (arrive immediately)
   int priority = 0;
 };

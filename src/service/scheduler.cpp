@@ -1,7 +1,10 @@
 #include "service/scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <ostream>
 
 #include "core/evaluator.h"
 #include "util/check.h"
@@ -29,6 +32,12 @@ double percentile(std::vector<double>& v, double p) {
   return v[std::min(v.size() - 1, rank == 0 ? 0 : rank - 1)];
 }
 
+std::string fmt_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
 }  // namespace
 
 Status validate(const SchedulerOptions& o) {
@@ -42,6 +51,22 @@ Status validate(const SchedulerOptions& o) {
     return Status::error("interference must be >= 0");
   if (o.estimate_slot <= 0)
     return Status::error("estimate_slot must be positive");
+  for (const obs::SloRule& r : o.slo) {
+    if (!(r.quantile > 0 && r.quantile < 1) || !(r.threshold > 0))
+      return Status::error("bad SLO rule: " + r.spec);
+  }
+  if (!(o.slo_accuracy > 0 && o.slo_accuracy < 0.5))
+    return Status::error("slo_accuracy must be in (0, 0.5)");
+  if (o.telemetry != nullptr) {
+    if (o.obs == nullptr)
+      return Status::error("telemetry requires an Observability sink");
+    if (o.telemetry_period <= 0)
+      return Status::error("telemetry_period must be positive");
+  }
+  if (!(o.task_failure_rate >= 0 && o.task_failure_rate < 1.0))
+    return Status::error("task_failure_rate must be in [0, 1)");
+  if (o.max_attempts < 1)
+    return Status::error("max_attempts must be >= 1");
   if (Status s = core::validate(o.plan.calculator); !s) return s;
   return Status::ok();
 }
@@ -76,14 +101,20 @@ Scheduler::Scheduler(SchedulerOptions options)
       m_queue_depth_(obs::gauge(opt_.obs, "sched.queue_depth")),
       m_active_jobs_(obs::gauge(opt_.obs, "sched.active_jobs")),
       m_slot_occupancy_(obs::gauge(opt_.obs, "sched.slot_occupancy")),
+      m_ledger_slots_busy_(obs::gauge(opt_.obs, "sched.ledger_slots_busy")),
       m_wait_seconds_(obs::histogram(opt_.obs, "sched.wait_seconds",
                                      obs::exponential_buckets(1.0, 2.0, 20))),
       m_jct_seconds_(obs::histogram(opt_.obs, "sched.jct_seconds",
                                     obs::exponential_buckets(1.0, 1.6, 28))),
       m_slowdown_(obs::histogram(opt_.obs, "sched.slowdown",
-                                 obs::exponential_buckets(1.0, 1.3, 24))) {
+                                 obs::exponential_buckets(1.0, 1.3, 24))),
+      m_plan_wall_(obs::histogram(opt_.obs, "planner.plan_wall_seconds",
+                                  obs::exponential_buckets(1e-6, 4.0, 16))) {
   if (Status s = validate(opt_); !s) DS_CHECK_MSG(false, s.message());
   mean_worker_bw_ = ledger_.total_bandwidth() / cluster_->num_workers();
+  flight_ = obs::flight(opt_.obs);
+  slo_ = std::make_unique<obs::SloTracker>(
+      obs::SloOptions{opt_.slo, opt_.slo_accuracy}, opt_.obs, flight_);
 }
 
 Scheduler::~Scheduler() = default;
@@ -114,10 +145,54 @@ service::JobId Scheduler::submit_at(Seconds arrival, const dag::JobDag& dag,
   return id;
 }
 
+void Scheduler::flight_event(obs::FlightKind kind, service::JobId id,
+                             double value, double aux) {
+  if (flight_ == nullptr) return;
+  obs::FlightRecord r;
+  r.t = sim_.now();
+  r.kind = kind;
+  r.job = id;
+  r.priority = job(id).status.priority;
+  r.queue_depth = static_cast<double>(queue_.size());
+  r.occupancy = ledger_.slot_occupancy();
+  r.value = value;
+  r.aux = aux;
+  flight_->record(r);
+}
+
 void Scheduler::arrive(service::JobId id) {
   queue_.push_back(id);
   m_queue_depth_.set(static_cast<double>(queue_.size()));
+  flight_event(obs::FlightKind::kSubmit, id,
+               job(id).status.dedicated_estimate);
+  maybe_start_telemetry();
   try_admit();
+}
+
+bool Scheduler::all_terminal() const {
+  for (const auto& j : jobs_) {
+    if (j->status.state == JobState::kQueued ||
+        j->status.state == JobState::kRunning)
+      return false;
+  }
+  return true;
+}
+
+void Scheduler::maybe_start_telemetry() {
+  if (opt_.telemetry == nullptr || telemetry_running_) return;
+  telemetry_running_ = true;
+  sim_.schedule_after(opt_.telemetry_period, [this] { telemetry_tick(); });
+}
+
+void Scheduler::telemetry_tick() {
+  opt_.telemetry->snapshot(*opt_.obs, sim_.now());
+  // Keep ticking while any job is live; otherwise stop, so drain()
+  // terminates (a later arrival restarts the chain).
+  if (all_terminal()) {
+    telemetry_running_ = false;
+    return;
+  }
+  sim_.schedule_after(opt_.telemetry_period, [this] { telemetry_tick(); });
 }
 
 int Scheduler::effective_priority(const Job& j, Seconds now) const {
@@ -220,9 +295,19 @@ void Scheduler::admit(service::JobId id, const service::ClusterLedger::Grant& g)
   engine::RunOptions run;
   run.seed = opt_.seed + id;
   run.obs = opt_.obs;
+  run.flight_job_id = id;
+  run.task_failure_rate = opt_.task_failure_rate;
+  run.max_attempts = opt_.max_attempts;
   if (opt_.plan_delays) {
     const core::JobProfile residual = residual_profile(j, g);
+    const auto plan_started = std::chrono::steady_clock::now();
     auto planned = plans_.plan(j.dag, residual);
+    const double plan_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      plan_started)
+            .count();
+    m_plan_wall_.observe(plan_wall);
+    slo_->observe_plan_latency(j.status.priority, plan_wall);
     j.plan = planned.plan;
     j.status.plan_cache_hit = planned.cache_hit;
     if (planned.cache_hit) m_cache_hits_.inc();
@@ -250,6 +335,28 @@ void Scheduler::admit(service::JobId id, const service::ClusterLedger::Grant& g)
   j.status.admitted = now;
   j.status.wait = wait;
   j.status.grant = g;
+
+  // Audit trail: admit (how long it queued), grant (what it was promised,
+  // and the ledger state after committing), plan (the delay budget chosen
+  // and whether the plan cache already had it).
+  flight_event(obs::FlightKind::kAdmit, id, wait);
+  flight_event(obs::FlightKind::kGrant, id, static_cast<double>(g.slots),
+               g.bandwidth);
+  if (opt_.plan_delays && flight_ != nullptr) {
+    obs::FlightRecord r;
+    r.t = now;
+    r.kind = obs::FlightKind::kPlan;
+    r.job = id;
+    r.priority = j.status.priority;
+    r.queue_depth = static_cast<double>(queue_.size());
+    r.occupancy = ledger_.slot_occupancy();
+    r.value = j.status.planned_delay;
+    r.cache = j.status.plan_cache_hit ? 1 : 0;
+    flight_->record(r);
+  }
+  slo_->observe_queue_wait(j.status.priority, wait);
+  slo_->evaluate(now);
+
   j.run = std::make_unique<engine::JobRun>(*cluster_, j.dag, std::move(run));
   j.run->start();
 
@@ -258,6 +365,7 @@ void Scheduler::admit(service::JobId id, const service::ClusterLedger::Grant& g)
   m_queue_depth_.set(static_cast<double>(queue_.size()));
   m_active_jobs_.set(static_cast<double>(ledger_.active_jobs()));
   m_slot_occupancy_.set(ledger_.slot_occupancy());
+  m_ledger_slots_busy_.set(static_cast<double>(ledger_.committed_slots()));
 }
 
 void Scheduler::on_job_finished(service::JobId id,
@@ -271,17 +379,26 @@ void Scheduler::on_job_finished(service::JobId id,
     j.status.slowdown = j.status.jct / j.status.dedicated_estimate;
 
   if (j.plan && !result.failed) plans_.observe(j.dag, *j.plan, result);
+  const double released_slots = static_cast<double>(j.status.grant.slots);
   ledger_.release(id);
 
   if (result.failed) {
     m_failed_.inc();
+    flight_event(obs::FlightKind::kFail, id, j.status.jct);
   } else {
     m_finished_.inc();
     m_jct_seconds_.observe(j.status.jct);
     m_slowdown_.observe(j.status.slowdown);
+    slo_->observe_finish(j.status.priority, j.status.jct, j.status.slowdown);
+    flight_event(obs::FlightKind::kFinish, id, j.status.jct,
+                 j.status.slowdown);
   }
+  flight_event(obs::FlightKind::kRelease, id, released_slots,
+               j.status.grant.bandwidth);
+  slo_->evaluate(now);
   m_active_jobs_.set(static_cast<double>(ledger_.active_jobs()));
   m_slot_occupancy_.set(ledger_.slot_occupancy());
+  m_ledger_slots_busy_.set(static_cast<double>(ledger_.committed_slots()));
 
   // Freed capacity: run admission immediately, at this completion's time.
   try_admit();
@@ -346,6 +463,27 @@ FleetStats Scheduler::fleet() const {
   f.peak_slot_occupancy =
       static_cast<double>(ledger_.peak_slots()) / ledger_.total_slots();
   return f;
+}
+
+void Scheduler::write_stats(std::ostream& os) const {
+  const FleetStats f = fleet();
+  os << "{\"v\": 1, \"ev\": \"stats\", \"t\": " << fmt_number(sim_.now())
+     << ", \"submitted\": " << f.submitted << ", \"queued\": " << f.queued
+     << ", \"running\": " << f.running << ", \"finished\": " << f.finished
+     << ", \"failed\": " << f.failed
+     << ", \"queue_depth\": " << queue_.size()
+     << ", \"ledger_slots_busy\": " << ledger_.committed_slots()
+     << ", \"slot_occupancy\": " << fmt_number(ledger_.slot_occupancy())
+     << ", \"bandwidth_occupancy\": "
+     << fmt_number(ledger_.bandwidth_occupancy())
+     << ", \"plan_cache_hit_rate\": " << fmt_number(f.plan_cache_hit_rate)
+     << ", \"mean_wait\": " << fmt_number(f.mean_wait)
+     << ", \"mean_jct\": " << fmt_number(f.mean_jct)
+     << ", \"p99_jct\": " << fmt_number(f.p99_jct)
+     << ", \"mean_slowdown\": " << fmt_number(f.mean_slowdown)
+     << ", \"p99_slowdown\": " << fmt_number(f.p99_slowdown)
+     << ", \"slo_violations\": " << slo_->violations() << "}\n";
+  if (!slo_->empty()) slo_->write_ndjson(os, sim_.now());
 }
 
 }  // namespace ds

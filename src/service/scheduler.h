@@ -48,6 +48,8 @@
 
 #include "core/options.h"
 #include "engine/job_run.h"
+#include "obs/slo.h"
+#include "obs/telemetry.h"
 #include "service/ledger.h"
 #include "service/policy.h"
 #include "sim/cluster.h"
@@ -93,6 +95,29 @@ struct SchedulerOptions : CommonOptions {
   // Slot width of the analytic evaluator used for the dedicated-JCT
   // estimate (the slowdown baseline and the SJF key).
   Seconds estimate_slot = 1.0;
+  // Online SLO rules (parse_slo_rule's "p99_slowdown<=2.5" grammar),
+  // evaluated after every admission and completion over exact-merge quantile
+  // sketches. Each ok→violated transition records a slo_violation flight
+  // event and bumps the slo.violations counter; the live quantile is the
+  // slo.<spec> gauge. A plan_latency rule observes planner *wall* time and
+  // is therefore not bit-reproducible; the other metrics are.
+  std::vector<obs::SloRule> slo;
+  double slo_accuracy = 0.01;  // sketch relative accuracy (see quantile_sketch.h)
+  // Streaming telemetry: snapshot obs's registry into this sink every
+  // telemetry_period *simulated* seconds while any job is non-terminal
+  // (requires obs; the sink must outlive the scheduler). Ticks are ordinary
+  // sim events at fixed times, so the stream is bit-identical for any
+  // `threads` — filter out the wall-clock metric prefixes (planner.,
+  // tracer.) for a byte-reproducible file.
+  obs::TelemetrySink* telemetry = nullptr;
+  Seconds telemetry_period = 10.0;
+  // Fault injection forwarded to every admitted run (see
+  // engine::RunOptions): each task attempt aborts with this probability;
+  // a task aborting max_attempts times fails its job terminally — which
+  // auto-dumps the flight recorder, the audit path sched_cli exercises
+  // with --fail-rate.
+  double task_failure_rate = 0.0;
+  int max_attempts = 4;
 };
 
 // Validates field combinations (share in (0, 1], positive sizing, a sane
@@ -171,6 +196,13 @@ class Scheduler {
   sim::Cluster& cluster() { return *cluster_; }
   store::PlanService& plans() { return plans_; }
   const SchedulerOptions& options() const { return opt_; }
+  // Live SLO state (sketches, rule verdicts, violation count).
+  const obs::SloTracker& slo() const { return *slo_; }
+
+  // One {"v": 1, "ev": "stats", …} NDJSON line with the live queue / ledger
+  // / fleet state (plus an "ev": "slo" line when rules are configured) — the
+  // stats command of the jobs-in protocol and `serve` both answer with this.
+  void write_stats(std::ostream& os) const;
 
  private:
   struct Job {
@@ -200,6 +232,15 @@ class Scheduler {
                                     const service::ClusterLedger::Grant& g)
       const;
   void on_job_finished(service::JobId id, const engine::JobResult& result);
+  // Append one audit record stamped with sim-now and the job's priority.
+  void flight_event(obs::FlightKind kind, service::JobId id, double value,
+                    double aux = 0);
+  // Start the telemetry cadence if a sink is configured and the chain is
+  // not already running (restarted by arrivals after a quiescent period;
+  // stops itself when every job is terminal, so drain() terminates).
+  void maybe_start_telemetry();
+  void telemetry_tick();
+  bool all_terminal() const;
 
   SchedulerOptions opt_;
   sim::Simulator sim_;
@@ -210,6 +251,9 @@ class Scheduler {
   std::vector<std::unique_ptr<Job>> jobs_;
   std::vector<service::JobId> queue_;  // ids awaiting admission
   std::uint64_t next_seq_ = 0;
+  obs::FlightRecorder* flight_ = nullptr;
+  std::unique_ptr<obs::SloTracker> slo_;
+  bool telemetry_running_ = false;
 
   obs::Counter m_submitted_;
   obs::Counter m_admitted_;
@@ -219,9 +263,14 @@ class Scheduler {
   obs::Gauge m_queue_depth_;
   obs::Gauge m_active_jobs_;
   obs::Gauge m_slot_occupancy_;
+  obs::Gauge m_ledger_slots_busy_;
   obs::Histogram m_wait_seconds_;
   obs::Histogram m_jct_seconds_;
   obs::Histogram m_slowdown_;
+  // Wall-clock admission-planning latency (nondeterministic by nature —
+  // excluded from the reproducible telemetry surface via its planner.
+  // prefix).
+  obs::Histogram m_plan_wall_;
 };
 
 }  // namespace ds

@@ -8,6 +8,8 @@
 
 #include "core/plan_serialize.h"
 #include "dag/serialize.h"
+#include "obs/obs.h"
+#include "util/check.h"
 #include "util/json.h"
 
 namespace ds::store {
@@ -66,11 +68,24 @@ sim::ClusterSpec preset_for(const std::string& name) {
 
 PlanDaemon::PlanDaemon(DaemonOptions options, obs::Observability* obs)
     : opt_(options),
+      obs_(obs),
       service_(options.service, obs),
       pool_(options.threads),
       requests_metric_(obs::counter(obs, "daemon.requests")),
-      errors_metric_(obs::counter(obs, "daemon.errors")) {
+      errors_metric_(obs::counter(obs, "daemon.errors")),
+      flight_(obs::flight(obs)),
+      epoch_(std::chrono::steady_clock::now()) {
   if (opt_.batch == 0) opt_.batch = 1;
+  DS_CHECK_MSG(opt_.telemetry == nullptr || obs_ != nullptr,
+               "daemon telemetry requires an Observability sink");
+  DS_CHECK_MSG(opt_.telemetry == nullptr || opt_.telemetry_period > 0,
+               "telemetry_period must be positive");
+}
+
+double PlanDaemon::uptime_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
 }
 
 std::string PlanDaemon::handle_line(const std::string& line, bool* is_error) {
@@ -85,7 +100,7 @@ std::string PlanDaemon::handle_line(const std::string& line, bool* is_error) {
     return error_response(id, st.message());
 
   if (const json::Value* cmd = req.find("cmd"); cmd != nullptr) {
-    const std::string& name = cmd->str_or("");
+    const std::string name = cmd->str_or("");
     if (name == "save") {
       const Status st = service_.save();
       std::ostringstream os;
@@ -99,6 +114,9 @@ std::string PlanDaemon::handle_line(const std::string& line, bool* is_error) {
       return error_response(id, st.message());
     }
     if (name == "stats") {
+      // stats_ is only written in serve()'s serial accounting loop after each
+      // batch, so a stats request sees counters through the *previous* batch
+      // (a stats line batched with plan requests does not count them yet).
       const PlanCache& c = service_.cache();
       std::ostringstream os;
       open_response(os, id);
@@ -107,7 +125,13 @@ std::string PlanDaemon::handle_line(const std::string& line, bool* is_error) {
          << ", \"evictions\": " << c.evictions() << ", \"stale\": " << c.stale()
          << ", \"invalidations\": " << c.invalidations()
          << "}, \"workloads\": " << service_.profiles().workloads()
-         << "}";
+         << ", \"daemon\": {\"requests\": " << stats_.requests
+         << ", \"plans\": " << stats_.plans
+         << ", \"errors\": " << stats_.errors << ", \"uptime_s\": ";
+      std::ostringstream up;
+      up.precision(6);
+      up << uptime_s();
+      os << up.str() << "}}";
       if (is_error != nullptr) *is_error = false;
       return os.str();
     }
@@ -145,6 +169,20 @@ std::string PlanDaemon::handle_line(const std::string& line, bool* is_error) {
 
     const core::JobProfile profile = core::JobProfile::from(job, spec);
     const PlanService::Planned planned = service_.plan(job, profile, copt);
+
+    if (flight_ != nullptr) {
+      // Audit every served plan (wall time base; record() is thread-safe, so
+      // concurrent batch workers interleave by completion order).
+      obs::FlightRecord r;
+      r.t = uptime_s();
+      r.kind = obs::FlightKind::kPlan;
+      r.label = flight_->intern(job.name());
+      double total_delay = 0;
+      for (const Seconds d : planned.plan->delay) total_delay += d;
+      r.value = total_delay;
+      r.cache = planned.cache_hit ? 1 : 0;
+      flight_->record(r);
+    }
 
     std::ostringstream os;
     open_response(os, id);
@@ -199,7 +237,18 @@ DaemonStats PlanDaemon::serve(std::istream& in, std::ostream& out) {
       }
     }
     out.flush();
+
+    // Wall-cadence telemetry: at most one snapshot per period, checked
+    // between dispatch rounds (a blocked stdin does not tick).
+    if (opt_.telemetry != nullptr) {
+      const double now = uptime_s();
+      if (last_telemetry_ < 0 || now - last_telemetry_ >= opt_.telemetry_period) {
+        opt_.telemetry->snapshot(*obs_, now);
+        last_telemetry_ = now;
+      }
+    }
   }
+  if (opt_.telemetry != nullptr) opt_.telemetry->snapshot(*obs_, uptime_s());
   return stats_;
 }
 

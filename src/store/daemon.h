@@ -24,10 +24,12 @@
 // preserved even though planning is parallel.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
 
+#include "obs/telemetry.h"
 #include "sim/cluster.h"
 #include "store/plan_service.h"
 #include "util/thread_pool.h"
@@ -40,6 +42,12 @@ struct DaemonOptions {
   sim::ClusterSpec cluster = sim::ClusterSpec::paper_prototype();
   int threads = 0;          // ThreadPool size; 0 = hardware concurrency
   std::size_t batch = 32;   // max requests planned per dispatch round
+  // Streaming telemetry on a *wall-clock* cadence: serve() snapshots the
+  // Observability registry into this sink at least telemetry_period seconds
+  // apart, checked between dispatch rounds (a daemon blocked on stdin does
+  // not tick). Requires a non-null obs. The sink must outlive the daemon.
+  obs::TelemetrySink* telemetry = nullptr;
+  double telemetry_period = 10.0;
 };
 
 struct DaemonStats {
@@ -64,12 +72,19 @@ class PlanDaemon {
   const DaemonStats& stats() const { return stats_; }
 
  private:
+  // Wall seconds since construction (the daemon's telemetry/audit time base).
+  double uptime_s() const;
+
   DaemonOptions opt_;
+  obs::Observability* obs_;
   PlanService service_;
   ThreadPool pool_;
   DaemonStats stats_;
   obs::Counter requests_metric_;
   obs::Counter errors_metric_;
+  obs::FlightRecorder* flight_ = nullptr;
+  std::chrono::steady_clock::time_point epoch_;
+  double last_telemetry_ = -1;
 };
 
 }  // namespace ds::store

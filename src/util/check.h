@@ -16,12 +16,32 @@ class CheckError : public std::runtime_error {
   explicit CheckError(const std::string& what) : std::runtime_error(what) {}
 };
 
+// Optional process-wide hook fired (once, reentrancy-guarded) right before a
+// failed DS_CHECK throws — the flight recorder installs its crash dump here
+// so the audit trail of the moments leading up to an invariant violation
+// survives even when the exception unwinds the process. The hook must not
+// throw; a hook that itself trips a DS_CHECK is skipped, not recursed into.
+using CheckFailureHook = void (*)(const std::string& what);
+
+inline CheckFailureHook& check_failure_hook() {
+  static CheckFailureHook hook = nullptr;
+  return hook;
+}
+
 namespace detail {
 [[noreturn]] inline void check_failed(const char* cond, const char* file,
                                       int line, const std::string& msg) {
   std::ostringstream os;
   os << file << ":" << line << ": check failed: " << cond;
   if (!msg.empty()) os << " — " << msg;
+  if (CheckFailureHook hook = check_failure_hook(); hook != nullptr) {
+    static thread_local bool in_hook = false;
+    if (!in_hook) {
+      in_hook = true;
+      hook(os.str());
+      in_hook = false;
+    }
+  }
   throw CheckError(os.str());
 }
 }  // namespace detail

@@ -124,6 +124,68 @@ TEST(Registry, JsonDumpIsWellFormedAndSorted) {
   EXPECT_EQ(depth, 0);
 }
 
+TEST(Registry, SnapshotCopiesTheLiveState) {
+  obs::MetricsRegistry reg;
+  reg.counter("jobs").inc(3);
+  reg.gauge("depth").set(2.5);
+  obs::Histogram h = reg.histogram("lat", obs::linear_buckets(1.0, 10));
+  h.observe(0.5);
+  h.observe(4.5);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "jobs");
+  EXPECT_EQ(snap.counters[0].second, 3u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].first, "depth");
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, 2.5);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].name, "lat");
+  EXPECT_EQ(snap.histograms[0].count, 2u);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].sum, 5.0);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].mean, 2.5);
+}
+
+TEST(Registry, PrometheusExpositionIsWellFormed) {
+  obs::MetricsRegistry reg;
+  reg.counter("sched.jobs_submitted").inc(4);
+  reg.gauge("sched.queue_depth").set(1);
+  reg.histogram("sched.wait", obs::linear_buckets(1.0, 2)).observe(0.5);
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  const std::string s = os.str();
+  // Dots become underscores, counters grow a _total suffix, histograms get
+  // cumulative buckets with the +Inf terminator plus _sum/_count.
+  EXPECT_NE(s.find("# TYPE sched_jobs_submitted_total counter"),
+            std::string::npos);
+  EXPECT_NE(s.find("sched_jobs_submitted_total 4"), std::string::npos);
+  EXPECT_NE(s.find("# TYPE sched_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(s.find("sched_wait_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(s.find("sched_wait_sum 0.5"), std::string::npos);
+  EXPECT_NE(s.find("sched_wait_count 1"), std::string::npos);
+}
+
+TEST(Obs, RefreshDerivedPublishesDropCounters) {
+  obs::TracerOptions topt;
+  topt.enabled = true;
+  topt.ring_capacity = 4;
+  obs::FlightRecorderOptions fopt;
+  fopt.enabled = true;
+  fopt.capacity = 4;
+  obs::Observability obs(topt, fopt);
+  for (int i = 0; i < 10; ++i) {
+    obs.tracer.instant("t", "e", static_cast<double>(i), 0, 0);
+    obs::FlightRecord r;
+    r.kind = obs::FlightKind::kMark;
+    obs.flight.record(r);
+  }
+  obs.refresh_derived();
+  EXPECT_EQ(obs.metrics.counter("tracer.dropped_spans").value(), 6u);
+  EXPECT_EQ(obs.metrics.counter("flight.dropped_records").value(), 6u);
+  // Idempotent: a second refresh with no new drops adds nothing.
+  obs.refresh_derived();
+  EXPECT_EQ(obs.metrics.counter("tracer.dropped_spans").value(), 6u);
+}
+
 // --- Tracer ----------------------------------------------------------------
 
 TEST(Tracer, DisabledTracerRecordsNothing) {

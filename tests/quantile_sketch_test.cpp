@@ -1,0 +1,167 @@
+// QuantileSketch: relative-accuracy guarantee against exact sample
+// quantiles, exact (bit-identical) merge associativity / commutativity /
+// partition invariance — the property the online SLO tracker's
+// thread-count determinism rests on — plus zero/edge handling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "obs/quantile_sketch.h"
+#include "util/check.h"
+
+namespace ds {
+namespace {
+
+// Deterministic pseudo-random stream (splitmix64), no <random> engine drift.
+class Splitmix {
+ public:
+  explicit Splitmix(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  double uniform() {  // in [0, 1)
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+double exact_quantile(std::vector<double> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  const auto rank = static_cast<std::size_t>(std::max<double>(
+      1.0, std::ceil(q * static_cast<double>(xs.size()))));
+  return xs[rank - 1];
+}
+
+TEST(QuantileSketch, EmptyAndSingleValue) {
+  obs::QuantileSketch s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+
+  s.observe(42.0);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.count(), 1u);
+  // One sample: every quantile is that sample (clamped to [min, max]).
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 42.0);
+}
+
+TEST(QuantileSketch, ZeroAndNegativeLandInZeroBucket) {
+  obs::QuantileSketch s;
+  s.observe(0.0);
+  s.observe(-3.5);
+  s.observe(1e-12);  // below the tracked range
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_EQ(s.zero_count(), 3u);
+  EXPECT_DOUBLE_EQ(s.min(), -3.5);
+  // All mass in the zero bucket: quantiles clamp into [min, max].
+  EXPECT_LE(s.quantile(0.99), s.max());
+  EXPECT_GE(s.quantile(0.01), s.min());
+}
+
+TEST(QuantileSketch, RelativeAccuracyHoldsOnSkewedSamples) {
+  const double kAlpha = 0.01;
+  obs::QuantileSketch s(kAlpha);
+  Splitmix rng(7);
+  std::vector<double> xs;
+  // Heavy-tailed: mix of ~1s JCTs and rare 1000s stragglers.
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    const double v = u < 0.95 ? 0.5 + 2.0 * rng.uniform()
+                              : 100.0 + 900.0 * rng.uniform();
+    xs.push_back(v);
+    s.observe(v);
+  }
+  for (const double q : {0.1, 0.5, 0.9, 0.95, 0.99, 0.999}) {
+    const double exact = exact_quantile(xs, q);
+    const double est = s.quantile(q);
+    // 3α slack: α from the bucket width, and up to 2α more when nearest-rank
+    // ties in a dense region land the exact quantile at a bucket edge.
+    EXPECT_NEAR(est, exact, 3 * kAlpha * exact) << "q=" << q;
+  }
+  EXPECT_EQ(s.count(), xs.size());
+}
+
+TEST(QuantileSketch, MergeIsExactlyAssociativeAndCommutative) {
+  Splitmix rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 3000; ++i) xs.push_back(0.1 + 50.0 * rng.uniform());
+
+  obs::QuantileSketch a, b, c;
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).observe(xs[i]);
+
+  // (a ⊕ b) ⊕ c
+  obs::QuantileSketch ab = a;
+  ab.merge(b);
+  obs::QuantileSketch ab_c = ab;
+  ab_c.merge(c);
+  // a ⊕ (b ⊕ c)
+  obs::QuantileSketch bc = b;
+  bc.merge(c);
+  obs::QuantileSketch a_bc = a;
+  a_bc.merge(bc);
+  // c ⊕ b ⊕ a (commuted)
+  obs::QuantileSketch cba = c;
+  cba.merge(b);
+  cba.merge(a);
+
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    const double ref = ab_c.quantile(q);
+    // Bit-identical, not approximately equal: integer counts add exactly.
+    EXPECT_EQ(ref, a_bc.quantile(q)) << "q=" << q;
+    EXPECT_EQ(ref, cba.quantile(q)) << "q=" << q;
+  }
+  EXPECT_EQ(ab_c.count(), xs.size());
+  EXPECT_EQ(ab_c.min(), a_bc.min());
+  EXPECT_EQ(ab_c.max(), cba.max());
+}
+
+TEST(QuantileSketch, AnyPartitionMatchesTheSingleStreamBitForBit) {
+  Splitmix rng(23);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(0.01 + 1000.0 * rng.uniform());
+
+  obs::QuantileSketch whole;
+  for (const double v : xs) whole.observe(v);
+
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{8}}) {
+    std::vector<obs::QuantileSketch> parts(shards);
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      parts[i % shards].observe(xs[i]);
+    obs::QuantileSketch merged;
+    for (const auto& p : parts) merged.merge(p);
+    EXPECT_EQ(merged.count(), whole.count());
+    for (const double q : {0.5, 0.9, 0.99})
+      EXPECT_EQ(merged.quantile(q), whole.quantile(q))
+          << "shards=" << shards << " q=" << q;
+  }
+}
+
+TEST(QuantileSketch, MergeRejectsMismatchedAccuracy) {
+  obs::QuantileSketch a(0.01);
+  obs::QuantileSketch b(0.02);
+  EXPECT_THROW(a.merge(b), CheckError);
+}
+
+TEST(QuantileSketch, SaturatesAboveTrackedRangeButKeepsCounts) {
+  obs::QuantileSketch s;
+  s.observe(1e12);  // beyond kMaxTracked
+  s.observe(1.0);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.max(), 1e12);
+  EXPECT_LE(s.quantile(1.0), 1e12);  // clamped to the observed max
+}
+
+}  // namespace
+}  // namespace ds
